@@ -1,0 +1,324 @@
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/adaptcore"
+	"adapt/internal/lss"
+	"adapt/internal/placement"
+	"adapt/internal/sim"
+)
+
+// Placement policy names accepted by SimulatorConfig.Policy.
+const (
+	PolicySepGC  = "sepgc"
+	PolicyDAC    = "dac"
+	PolicyWARCIP = "warcip"
+	PolicyMiDA   = "mida"
+	PolicySepBIT = "sepbit"
+	PolicyADAPT  = "adapt"
+)
+
+// Policies lists every available placement policy in the paper's
+// evaluation order.
+func Policies() []string {
+	return []string{PolicySepGC, PolicyDAC, PolicyWARCIP, PolicyMiDA, PolicySepBIT, PolicyADAPT}
+}
+
+// Victim policy names accepted by SimulatorConfig.Victim.
+const (
+	VictimGreedy         = "greedy"
+	VictimCostBenefit    = "cost-benefit"
+	VictimDChoices       = "d-choices"
+	VictimWindowedGreedy = "windowed-greedy"
+	VictimRandomGreedy   = "random-greedy"
+)
+
+// ADAPTOptions tunes the ADAPT policy; zero values take defaults.
+// The Disable switches support ablation studies.
+type ADAPTOptions struct {
+	// SampleRate is the spatial sampling rate of the threshold
+	// adaptation module (paper prototype: 0.001).
+	SampleRate float64
+	// GhostSets is the number of concurrent ghost-set simulations.
+	GhostSets int
+	// DemoteScore is the re-access score required for proactive
+	// demotion.
+	DemoteScore int
+	// DisableAggregation, DisableDemotion, and DisableAdaptation turn
+	// off the corresponding mechanism.
+	DisableAggregation, DisableDemotion, DisableAdaptation bool
+}
+
+// SimulatorConfig describes a simulated log-structured store on an
+// SSD array. Zero fields take the paper's defaults (§4.1): 4 KiB
+// blocks, 64 KiB chunks, 100 µs coalescing window, 4-SSD RAID-5, 15%
+// over-provisioning.
+type SimulatorConfig struct {
+	// UserBlocks is the user-visible capacity in blocks. Required.
+	UserBlocks int64
+	// Policy is the data placement policy name (see Policies).
+	Policy string
+	// Victim is the GC victim selection policy (default greedy).
+	Victim string
+	// BlockSize in bytes (default 4096).
+	BlockSize int
+	// ChunkBlocks is the array chunk size in blocks (default 16).
+	ChunkBlocks int
+	// SegmentChunks is the segment size in chunks (default derived
+	// from capacity).
+	SegmentChunks int
+	// DataColumns is the RAID data-column count (default 3).
+	DataColumns int
+	// OverProvision is the spare capacity fraction (default 0.15).
+	OverProvision float64
+	// SLAWindow is the chunk coalescing deadline (default 100 µs).
+	SLAWindow time.Duration
+	// ADAPT tunes the ADAPT policy (ignored for baselines).
+	ADAPT ADAPTOptions
+}
+
+func victimFromName(name string) (lss.VictimPolicy, error) {
+	switch name {
+	case "", VictimGreedy:
+		return lss.Greedy, nil
+	case VictimCostBenefit:
+		return lss.CostBenefit, nil
+	case VictimDChoices:
+		return lss.DChoices, nil
+	case VictimWindowedGreedy:
+		return lss.WindowedGreedy, nil
+	case VictimRandomGreedy:
+		return lss.RandomGreedy, nil
+	default:
+		return 0, fmt.Errorf("adapt: unknown victim policy %q", name)
+	}
+}
+
+func (c SimulatorConfig) lssConfig() (lss.Config, error) {
+	if c.UserBlocks <= 0 {
+		return lss.Config{}, fmt.Errorf("adapt: UserBlocks must be positive")
+	}
+	victim, err := victimFromName(c.Victim)
+	if err != nil {
+		return lss.Config{}, err
+	}
+	cfg := lss.Config{
+		BlockSize:     c.BlockSize,
+		ChunkBlocks:   c.ChunkBlocks,
+		SegmentChunks: c.SegmentChunks,
+		DataColumns:   c.DataColumns,
+		UserBlocks:    c.UserBlocks,
+		OverProvision: c.OverProvision,
+		SLAWindow:     sim.Time(c.SLAWindow),
+		Victim:        victim,
+	}
+	if cfg.ChunkBlocks == 0 {
+		cfg.ChunkBlocks = 16
+	}
+	if cfg.SegmentChunks == 0 {
+		segChunks := int(c.UserBlocks / int64(cfg.ChunkBlocks) / 128)
+		if segChunks < 2 {
+			segChunks = 2
+		}
+		if segChunks > 32 {
+			segChunks = 32
+		}
+		cfg.SegmentChunks = segChunks
+	}
+	return cfg, nil
+}
+
+// GroupMetrics is the per-group traffic breakdown.
+type GroupMetrics struct {
+	Group          int
+	UserBlocks     int64
+	GCBlocks       int64
+	ShadowBlocks   int64
+	PaddingBlocks  int64
+	PaddingEvents  int64
+	SealedSegments int64
+}
+
+// Metrics summarizes a simulation run.
+type Metrics struct {
+	// WA is (user + GC-rewritten blocks) / user blocks (Figure 8).
+	WA float64
+	// EffectiveWA additionally charges padding and shadow traffic.
+	EffectiveWA float64
+	// PaddingRatio is padding blocks over all array block traffic
+	// (Figure 9).
+	PaddingRatio float64
+
+	UserBlocks, GCBlocks, ShadowBlocks, PaddingBlocks int64
+	ReadBlocks, SegmentsReclaimed, GCCycles           int64
+
+	// DataChunks and ParityChunks are array-level chunk writes.
+	DataChunks, ParityChunks int64
+
+	// Latency summarizes user-block persistence latency: time from
+	// arrival to durability (chunk flush or shadow persist). The SLA
+	// window bounds it by construction.
+	Latency LatencyMetrics
+
+	PerGroup []GroupMetrics
+}
+
+// LatencyMetrics summarizes persistence latency.
+type LatencyMetrics struct {
+	Count      int64
+	Mean       time.Duration
+	P50        time.Duration // bucket-resolution upper bound
+	P99        time.Duration // bucket-resolution upper bound
+	Max        time.Duration
+	Violations int64 // beyond the SLA window (Drain leftovers only)
+}
+
+// Simulator is a trace-driven log-structured store with a placement
+// policy. It is not safe for concurrent use.
+type Simulator struct {
+	store  *lss.Store
+	policy lss.Policy
+}
+
+// NewSimulator builds a simulator for the given configuration.
+func NewSimulator(c SimulatorConfig) (*Simulator, error) {
+	cfg, err := c.lssConfig()
+	if err != nil {
+		return nil, err
+	}
+	var pol lss.Policy
+	name := c.Policy
+	if name == "" {
+		name = PolicyADAPT
+	}
+	if name == PolicyADAPT {
+		rate := c.ADAPT.SampleRate
+		if rate == 0 {
+			rate = 2048 / float64(cfg.UserBlocks)
+			if rate > 0.5 {
+				rate = 0.5
+			}
+			if rate < 0.002 {
+				rate = 0.002
+			}
+		}
+		pol = adaptcore.New(adaptcore.Config{
+			UserBlocks:    cfg.UserBlocks,
+			SegmentBlocks: cfg.SegmentBlocks(),
+			ChunkBlocks:   cfg.ChunkBlocks,
+			OverProvision: cfg.OverProvision,
+		}, adaptcore.Options{
+			SampleRate:         rate,
+			Ladder:             c.ADAPT.GhostSets,
+			DemoteScore:        c.ADAPT.DemoteScore,
+			DisableAggregation: c.ADAPT.DisableAggregation,
+			DisableDemotion:    c.ADAPT.DisableDemotion,
+			DisableAdaptation:  c.ADAPT.DisableAdaptation,
+		})
+	} else {
+		pol, err = placement.New(name, placement.Params{
+			UserBlocks:    cfg.UserBlocks,
+			SegmentBlocks: cfg.SegmentBlocks(),
+			ChunkBlocks:   cfg.ChunkBlocks,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Simulator{store: lss.New(cfg, pol), policy: pol}, nil
+}
+
+// PolicyName returns the active placement policy's name.
+func (s *Simulator) PolicyName() string { return s.policy.Name() }
+
+// Write appends user-written blocks starting at lba at the given
+// trace time.
+func (s *Simulator) Write(lba int64, blocks int, at time.Duration) error {
+	return s.store.Write(lba, blocks, sim.Time(at))
+}
+
+// Read records a user read (workload accounting only).
+func (s *Simulator) Read(lba int64, blocks int, at time.Duration) {
+	s.store.Read(lba, blocks, sim.Time(at))
+}
+
+// Trim discards blocks (TRIM/UNMAP): their live versions become
+// garbage immediately, reclaimable without GC migration.
+func (s *Simulator) Trim(lba int64, blocks int, at time.Duration) error {
+	return s.store.Trim(lba, blocks, sim.Time(at))
+}
+
+// Drain flushes all buffered chunks, padding remainders; call it when
+// a replay finishes (Replay does this automatically).
+func (s *Simulator) Drain() {
+	s.store.Drain(s.store.Now() + sim.Second)
+}
+
+// Metrics returns a snapshot of the run's traffic accounting.
+func (s *Simulator) Metrics() Metrics {
+	m := s.store.Metrics()
+	a := s.store.Array()
+	out := Metrics{
+		WA:                m.WA(),
+		EffectiveWA:       m.EffectiveWA(),
+		PaddingRatio:      m.PaddingRatio(),
+		UserBlocks:        m.UserBlocks,
+		GCBlocks:          m.GCBlocks,
+		ShadowBlocks:      m.ShadowBlocks,
+		PaddingBlocks:     m.PaddingBlocks,
+		ReadBlocks:        m.ReadBlocks,
+		SegmentsReclaimed: m.SegmentsReclaimed,
+		GCCycles:          m.GCCycles,
+		DataChunks:        a.DataChunks(),
+		ParityChunks:      a.ParityChunks(),
+		Latency: LatencyMetrics{
+			Count:      m.Latency.Count,
+			Mean:       time.Duration(m.Latency.Mean()),
+			P50:        time.Duration(m.Latency.Quantile(0.5)),
+			P99:        time.Duration(m.Latency.Quantile(0.99)),
+			Max:        time.Duration(m.Latency.Max),
+			Violations: m.Latency.Violations,
+		},
+	}
+	for i, g := range m.PerGroup {
+		out.PerGroup = append(out.PerGroup, GroupMetrics{
+			Group:          i,
+			UserBlocks:     g.UserBlocks,
+			GCBlocks:       g.GCBlocks,
+			ShadowBlocks:   g.ShadowBlocks,
+			PaddingBlocks:  g.PaddingBlocks,
+			PaddingEvents:  g.PaddingEvents,
+			SealedSegments: g.Sealed,
+		})
+	}
+	return out
+}
+
+// ADAPTDiagnostics reports ADAPT's internal mechanism counters, or
+// ok=false when the active policy is not ADAPT.
+type ADAPTDiagnostics struct {
+	Threshold      float64
+	Adoptions      int64
+	Demotions      int64
+	ShadowGrants   int64
+	FootprintBytes int64 // sampler + ghost sets + discriminators
+	BaseTableBytes int64 // per-LBA last-write table
+}
+
+// Diagnostics returns ADAPT-specific counters.
+func (s *Simulator) Diagnostics() (ADAPTDiagnostics, bool) {
+	p, ok := s.policy.(*adaptcore.Policy)
+	if !ok {
+		return ADAPTDiagnostics{}, false
+	}
+	return ADAPTDiagnostics{
+		Threshold:      p.Threshold(),
+		Adoptions:      p.Adoptions(),
+		Demotions:      p.Demotions(),
+		ShadowGrants:   p.ShadowGrants(),
+		FootprintBytes: p.Footprint(),
+		BaseTableBytes: p.BaseFootprint(),
+	}, true
+}

@@ -1,0 +1,205 @@
+package adapt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPoliciesList(t *testing.T) {
+	ps := Policies()
+	if len(ps) != 6 || ps[5] != PolicyADAPT {
+		t.Fatalf("Policies() = %v", ps)
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	if _, err := NewSimulator(SimulatorConfig{}); err == nil {
+		t.Fatal("zero UserBlocks accepted")
+	}
+	if _, err := NewSimulator(SimulatorConfig{UserBlocks: 1024, Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewSimulator(SimulatorConfig{UserBlocks: 1024, Victim: "bogus"}); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+}
+
+func TestSimulatorEndToEnd(t *testing.T) {
+	for _, policy := range Policies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			s, err := NewSimulator(SimulatorConfig{
+				UserBlocks: 8 << 10,
+				Policy:     policy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := GenerateYCSB(YCSBConfig{
+				Blocks: 8 << 10, Writes: 48 << 10, Fill: true,
+				Theta: 0.99, MeanGap: 50 * time.Microsecond, Seed: 1,
+			})
+			if err := s.Replay(tr); err != nil {
+				t.Fatal(err)
+			}
+			m := s.Metrics()
+			if m.WA < 1 || m.WA > 20 {
+				t.Fatalf("implausible WA %f", m.WA)
+			}
+			if m.UserBlocks != 56<<10 {
+				t.Fatalf("UserBlocks = %d", m.UserBlocks)
+			}
+			if m.DataChunks == 0 || m.ParityChunks == 0 {
+				t.Fatal("array accounting missing")
+			}
+			if len(m.PerGroup) == 0 {
+				t.Fatal("no per-group metrics")
+			}
+		})
+	}
+}
+
+func TestDiagnosticsOnlyForADAPT(t *testing.T) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: 4096, Policy: PolicyADAPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Diagnostics(); !ok {
+		t.Fatal("ADAPT simulator has no diagnostics")
+	}
+	b, err := NewSimulator(SimulatorConfig{UserBlocks: 4096, Policy: PolicySepGC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Diagnostics(); ok {
+		t.Fatal("sepgc simulator reports ADAPT diagnostics")
+	}
+}
+
+func TestManualWriteAPI(t *testing.T) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: 1024, Policy: PolicySepGC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Read(0, 2, time.Millisecond)
+	s.Drain()
+	m := s.Metrics()
+	if m.UserBlocks != 4 || m.ReadBlocks != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if err := s.Write(1<<30, 1, 0); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestTraceFacadeRoundTrips(t *testing.T) {
+	tr := GenerateYCSB(YCSBConfig{Blocks: 256, Writes: 1000, Theta: 0.9, Seed: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatal("binary round trip lost records")
+	}
+	st := tr.Stats(4096)
+	if st.Writes != 1000 {
+		t.Fatalf("Stats.Writes = %d", st.Writes)
+	}
+}
+
+func TestParserFacades(t *testing.T) {
+	msr := "128166372003061629,usr,0,Write,0,4096,100\n"
+	if tr, err := ParseMSR(strings.NewReader(msr), "m"); err != nil || len(tr.Records) != 1 {
+		t.Fatalf("ParseMSR: %v", err)
+	}
+	ali := "3,W,1024,4096,1000000\n"
+	if tr, err := ParseAli(strings.NewReader(ali), "a"); err != nil || len(tr.Records) != 1 {
+		t.Fatalf("ParseAli: %v", err)
+	}
+	tc := "1538323200,8,8,1,1283\n"
+	if tr, err := ParseTencent(strings.NewReader(tc), "t"); err != nil || len(tr.Records) != 1 {
+		t.Fatalf("ParseTencent: %v", err)
+	}
+}
+
+func TestDensifyFacade(t *testing.T) {
+	tr := &Trace{Name: "sparse", Records: []Record{
+		{Op: OpWrite, Offset: 1 << 40, Size: 4096},
+		{Op: OpWrite, Offset: 1 << 41, Size: 4096},
+	}}
+	dense, blocks := tr.Densify(4096)
+	if blocks != 2 {
+		t.Fatalf("blocks = %d", blocks)
+	}
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: blocks, Policy: PolicySepGC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replay(dense); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteFacade(t *testing.T) {
+	vols := NewSuite(SuiteConfig{Profile: ProfileAli, Volumes: 3, ScaleBlocks: 2048, Seed: 1})
+	if len(vols) != 3 {
+		t.Fatalf("%d volumes", len(vols))
+	}
+	tr := vols[0].Generate()
+	if int64(len(tr.Records)) < vols[0].WriteOps {
+		t.Fatal("trace shorter than write ops")
+	}
+	s, err := NewSimulator(SimulatorConfig{
+		UserBlocks: vols[0].FootprintBlocks,
+		Policy:     PolicyADAPT,
+		Victim:     VictimCostBenefit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replay(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics().WA < 1 {
+		t.Fatal("bad WA")
+	}
+}
+
+func TestADAPTAblationSwitches(t *testing.T) {
+	run := func(opts ADAPTOptions) Metrics {
+		s, err := NewSimulator(SimulatorConfig{
+			UserBlocks: 4096, Policy: PolicyADAPT, ADAPT: opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := GenerateYCSB(YCSBConfig{
+			Blocks: 4096, Writes: 16 << 10, Fill: true,
+			Theta: 0.99, MeanGap: 300 * time.Microsecond, Seed: 9,
+		})
+		if err := s.Replay(tr); err != nil {
+			t.Fatal(err)
+		}
+		return s.Metrics()
+	}
+	full := run(ADAPTOptions{})
+	noAgg := run(ADAPTOptions{DisableAggregation: true})
+	if full.ShadowBlocks == 0 {
+		t.Fatal("aggregation inactive in full configuration on sparse load")
+	}
+	if noAgg.ShadowBlocks != 0 {
+		t.Fatal("DisableAggregation still produced shadow traffic")
+	}
+	if full.PaddingBlocks > noAgg.PaddingBlocks {
+		t.Fatalf("aggregation increased padding: %d > %d", full.PaddingBlocks, noAgg.PaddingBlocks)
+	}
+}

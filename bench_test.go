@@ -1,0 +1,320 @@
+package adapt
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4) at a reduced scale. Each benchmark reports the
+// figure's headline numbers as custom metrics so that
+// `go test -bench . -benchmem` doubles as a reproduction run; use
+// cmd/adaptbench for the full-scale tables.
+
+import (
+	"testing"
+	"time"
+
+	"adapt/internal/harness"
+	"adapt/internal/lss"
+	"adapt/internal/workload"
+)
+
+func benchScale() harness.Scale {
+	return harness.Scale{
+		Volumes:         4,
+		VolumeBlocks:    8 << 10,
+		OverwriteFactor: 4,
+		YCSBBlocks:      16 << 10,
+		YCSBWrites:      96 << 10,
+		Seed:            1,
+	}
+}
+
+// BenchmarkFig2WorkloadCDF regenerates Figure 2: per-volume request
+// rate and write-size distributions of the synthesized suites.
+func BenchmarkFig2WorkloadCDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		results := harness.Fig2(sc, workload.Profiles())
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(100*r.FracVolumesUnder10, string(r.Profile)+"_%vol<10req/s")
+				b.ReportMetric(100*r.FracWritesLE8KiB, string(r.Profile)+"_%write<=8KiB")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3GroupTraffic regenerates Figure 3: per-group traffic
+// split and group sizes for the five baselines under the Ali profile.
+func BenchmarkFig3GroupTraffic(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		results, err := harness.Fig3(sc, harness.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(100*r.PaddingShareOfTotal(), r.Policy+"_pad%")
+			}
+		}
+	}
+}
+
+func benchGrid(b *testing.B, victim lss.VictimPolicy, label string) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		grid, err := harness.RunGrid(sc, workload.Profiles(),
+			[]lss.VictimPolicy{victim}, harness.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range workload.Profiles() {
+				for _, pol := range harness.PolicyNames() {
+					b.ReportMetric(grid.OverallWA(p, victim, pol),
+						string(p)+"_"+pol+"_WA")
+				}
+			}
+		}
+	}
+	_ = label
+}
+
+// BenchmarkFig8WAGreedy regenerates Figure 8 (Greedy policy): overall
+// WA of all six placement schemes on all three suites.
+func BenchmarkFig8WAGreedy(b *testing.B) { benchGrid(b, lss.Greedy, "greedy") }
+
+// BenchmarkFig8WACostBenefit regenerates Figure 8 (Cost-Benefit).
+func BenchmarkFig8WACostBenefit(b *testing.B) { benchGrid(b, lss.CostBenefit, "cost-benefit") }
+
+// BenchmarkFig9PaddingCDF regenerates Figure 9: per-volume padding
+// traffic ratio distributions.
+func BenchmarkFig9PaddingCDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		grid, err := harness.RunGrid(sc, workload.Profiles(),
+			[]lss.VictimPolicy{lss.Greedy}, harness.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := harness.Fig9(grid)
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Profile == workload.ProfileAli {
+					b.ReportMetric(100*r.FracUnder25, r.Policy+"_%vol_pad<25%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Correlation regenerates Figure 10: the correlation
+// between ADAPT's per-volume padding reduction and WA reduction
+// against MiDA and SepBIT.
+func BenchmarkFig10Correlation(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		grid, err := harness.RunGrid(sc, []workload.Profile{workload.ProfileAli},
+			[]lss.VictimPolicy{lss.Greedy}, harness.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		results := harness.Fig10(grid)
+		if i == b.N-1 {
+			for _, r := range results {
+				b.ReportMetric(r.Pearson, "pearson_vs_"+r.Baseline)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11Sensitivity regenerates Figure 11: WA versus access
+// density and versus zipfian skew under YCSB-A.
+func BenchmarkFig11Sensitivity(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig11(sc, harness.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range res.Density {
+				b.ReportMetric(c.WA, c.Policy+"_"+c.Setting+"_WA")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Throughput regenerates Figure 12a: prototype
+// throughput with 1/4/8 clients.
+func BenchmarkFig12Throughput(b *testing.B) {
+	sc := benchScale()
+	opts := harness.Fig12Options{
+		ClientCounts: []int{1, 4, 8},
+		Blocks:       sc.YCSBBlocks,
+		Ops:          8 * sc.YCSBBlocks,
+		// Device-bound regime: throughput reflects bandwidth consumed
+		// by GC and padding, not policy CPU cost.
+		ServiceTime: 50 * time.Microsecond,
+		// Memory panel handled by BenchmarkFig12Memory.
+		MemoryBlocks:  []int64{1},
+		MemoryWarmOps: 1,
+	}
+	policies := []string{"sepgc", "sepbit", harness.PolicyADAPT}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig12(sc, policies, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res.Throughput {
+				b.ReportMetric(r.OpsPerSec, r.Policy+"_c"+itoa(r.Clients)+"_ops/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Memory regenerates Figure 12b: policy metadata
+// footprint, ADAPT versus SepBIT.
+func BenchmarkFig12Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		const blocks = 64 << 10
+		sep, err := PolicyFootprintBytes(PolicySepBIT, blocks, blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ad, err := PolicyFootprintBytes(PolicyADAPT, blocks, blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(sep), "sepbit_bytes")
+			b.ReportMetric(float64(ad), "adapt_bytes")
+			b.ReportMetric(100*float64(ad-sep)/float64(sep), "overhead_%")
+		}
+	}
+}
+
+// benchAblation measures ADAPT's WA with one mechanism disabled on a
+// sparse skewed workload — the design-choice ablations DESIGN.md
+// calls out.
+func benchAblation(b *testing.B, opts ADAPTOptions, label string) {
+	const blocks = 16 << 10
+	for i := 0; i < b.N; i++ {
+		s, err := NewSimulator(SimulatorConfig{
+			UserBlocks: blocks, Policy: PolicyADAPT, ADAPT: opts,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := GenerateYCSB(YCSBConfig{
+			Blocks: blocks, Writes: 6 * blocks, Fill: true,
+			Theta: 0.99, MeanGap: 300 * time.Microsecond, Seed: 1,
+		})
+		if err := s.Replay(tr); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			m := s.Metrics()
+			b.ReportMetric(m.WA, label+"_WA")
+			b.ReportMetric(100*m.PaddingRatio, label+"_pad%")
+		}
+	}
+}
+
+// BenchmarkAblationFull is the reference point for the ablations.
+func BenchmarkAblationFull(b *testing.B) { benchAblation(b, ADAPTOptions{}, "full") }
+
+// BenchmarkAblationNoAggregation disables cross-group aggregation.
+func BenchmarkAblationNoAggregation(b *testing.B) {
+	benchAblation(b, ADAPTOptions{DisableAggregation: true}, "noagg")
+}
+
+// BenchmarkAblationNoDemotion disables proactive demotion.
+func BenchmarkAblationNoDemotion(b *testing.B) {
+	benchAblation(b, ADAPTOptions{DisableDemotion: true}, "nodem")
+}
+
+// BenchmarkAblationNoAdaptation freezes the hot/cold threshold.
+func BenchmarkAblationNoAdaptation(b *testing.B) {
+	benchAblation(b, ADAPTOptions{DisableAdaptation: true}, "noadapt")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkExtMultiStream measures the in-device WA reduction from
+// mapping groups to SSD streams one-to-one (§3.1).
+func BenchmarkExtMultiStream(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExpStreams(sc, []string{"sepgc", harness.PolicyADAPT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.SingleWA, r.Policy+"_1stream_devWA")
+				b.ReportMetric(r.MultiWA, r.Policy+"_multi_devWA")
+			}
+		}
+	}
+}
+
+// BenchmarkExtChunkSize sweeps the array chunk size (granularity
+// mismatch ablation).
+func BenchmarkExtChunkSize(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.ExpChunkSize(sc, []string{"sepgc", harness.PolicyADAPT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				b.ReportMetric(c.WA, c.Policy+"_"+c.Setting+"_WA")
+			}
+		}
+	}
+}
+
+// BenchmarkExtSLAWindow sweeps the coalescing deadline.
+func BenchmarkExtSLAWindow(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.ExpSLAWindow(sc, []string{harness.PolicyADAPT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				b.ReportMetric(100*c.PadRat, c.Setting+"_pad%")
+			}
+		}
+	}
+}
+
+// BenchmarkExtVictims compares the five victim-selection policies.
+func BenchmarkExtVictims(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.ExpVictims(sc, []string{harness.PolicyADAPT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				b.ReportMetric(c.GCWA, c.Setting+"_gcWA")
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command adaptbench regenerates the paper's evaluation figures
+// (Figures 2, 3, 8, 9, 10, 11, 12) on the trace-driven simulator and
+// the concurrent prototype, printing paper-style tables.
+//
+// Usage:
+//
+//	adaptbench -exp all -scale small
+//	adaptbench -exp fig8 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adapt/internal/harness"
+	"adapt/internal/lss"
+	"adapt/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|all")
+	scaleName := flag.String("scale", "small", "experiment scale: small|full")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "small":
+		sc = harness.SmallScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig2") {
+		ran = true
+		for _, r := range harness.Fig2(sc, workload.Profiles()) {
+			fmt.Println(r.Render())
+		}
+	}
+	if want("fig3") {
+		ran = true
+		results, err := harness.Fig3(sc, harness.PolicyNames())
+		fatal(err)
+		for _, r := range results {
+			fmt.Println(r.Render())
+		}
+	}
+	if want("fig8") || want("fig9") || want("fig10") {
+		ran = true
+		fmt.Println("running experiment grid (suites × victims × policies × volumes)...")
+		start := time.Now()
+		grid, err := harness.RunGrid(sc, workload.Profiles(),
+			[]lss.VictimPolicy{lss.Greedy, lss.CostBenefit}, harness.PolicyNames())
+		fatal(err)
+		fmt.Printf("grid complete in %v\n\n", time.Since(start).Round(time.Millisecond))
+		if want("fig8") {
+			fmt.Println(harness.RenderFig8(harness.Fig8(grid)))
+			for _, p := range workload.Profiles() {
+				for _, v := range []lss.VictimPolicy{lss.Greedy, lss.CostBenefit} {
+					reds := harness.Fig8Reductions(grid, p, v)
+					var parts []string
+					for _, base := range harness.PolicyNames() {
+						if r, ok := reds[base]; ok {
+							parts = append(parts, fmt.Sprintf("%s %.1f%%", base, r))
+						}
+					}
+					fmt.Printf("ADAPT WA reduction (%s, %s): %s\n", p, v, strings.Join(parts, ", "))
+				}
+			}
+			fmt.Println()
+		}
+		if want("fig9") {
+			fmt.Println(harness.RenderFig9(harness.Fig9(grid)))
+		}
+		if want("fig10") {
+			fmt.Println(harness.RenderFig10(harness.Fig10(grid)))
+		}
+	}
+	if want("fig11") {
+		ran = true
+		res, err := harness.Fig11(sc, harness.PolicyNames())
+		fatal(err)
+		fmt.Println(res.Render())
+	}
+	if want("fig12") {
+		ran = true
+		res, err := harness.Fig12(sc, harness.PolicyNames(), harness.DefaultFig12Options(sc))
+		fatal(err)
+		fmt.Println(res.Render())
+	}
+	if want("streams") {
+		ran = true
+		rows, err := harness.ExpStreams(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT})
+		fatal(err)
+		fmt.Println(harness.RenderStreams(rows))
+	}
+	if want("chunk") {
+		ran = true
+		cells, err := harness.ExpChunkSize(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT})
+		fatal(err)
+		fmt.Println(harness.RenderExt("Extension — chunk-size sensitivity (YCSB-A, Greedy)", cells))
+	}
+	if want("sla") {
+		ran = true
+		cells, err := harness.ExpSLAWindow(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT})
+		fatal(err)
+		fmt.Println(harness.RenderExt("Extension — SLA-window sensitivity (YCSB-A, Greedy)", cells))
+	}
+	if want("victims") {
+		ran = true
+		cells, err := harness.ExpVictims(sc, []string{"sepgc", harness.PolicyADAPT})
+		fatal(err)
+		fmt.Println(harness.RenderExt("Extension — victim-selection policies (YCSB-A)", cells))
+	}
+	if want("latency") {
+		ran = true
+		cells, err := harness.ExpLatency(sc, harness.PolicyNames())
+		fatal(err)
+		fmt.Println(harness.RenderLatency(cells))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Command tracegen synthesizes block I/O traces — production volume
+// suites fit to the paper's workload statistics, or YCSB-A streams —
+// and writes them in the compact binary format adaptsim consumes.
+//
+// Usage:
+//
+//	tracegen -profile ali -volumes 50 -out traces/
+//	tracegen -ycsb -ycsb-blocks 1048576 -ycsb-writes 10485760 -out traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"adapt"
+)
+
+func main() {
+	profile := flag.String("profile", "ali", "production profile: ali|tencent|msrc")
+	volumes := flag.Int("volumes", 10, "volumes to synthesize")
+	scaleBlocks := flag.Int64("scale-blocks", 32<<10, "per-volume footprint center in 4 KiB blocks")
+	overwrite := flag.Float64("overwrite", 5, "write volume relative to footprint")
+	ycsb := flag.Bool("ycsb", false, "generate a YCSB-A stream instead of a suite")
+	ycsbBlocks := flag.Int64("ycsb-blocks", 64<<10, "YCSB block count")
+	ycsbWrites := flag.Int64("ycsb-writes", 512<<10, "YCSB write count")
+	theta := flag.Float64("theta", 0.99, "YCSB zipfian constant")
+	gapUS := flag.Int64("gap-us", 50, "YCSB mean interarrival (µs)")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	fatal(os.MkdirAll(*out, 0o755))
+
+	write := func(tr *adapt.Trace, name string) {
+		path := filepath.Join(*out, name+".bin")
+		f, err := os.Create(path)
+		fatal(err)
+		fatal(tr.WriteBinary(f))
+		fatal(f.Close())
+		st := tr.Stats(4096)
+		fmt.Printf("%s: %d requests, %d writes, %.2f req/s, footprint %d KiB\n",
+			path, st.Requests, st.Writes, st.ReqPerSec, st.FootprintKiB)
+	}
+
+	if *ycsb {
+		tr := adapt.GenerateYCSB(adapt.YCSBConfig{
+			Blocks:  *ycsbBlocks,
+			Writes:  *ycsbWrites,
+			Fill:    true,
+			Theta:   *theta,
+			MeanGap: time.Duration(*gapUS) * time.Microsecond,
+			Seed:    *seed,
+		})
+		write(tr, "ycsb-a")
+		return
+	}
+
+	vols := adapt.NewSuite(adapt.SuiteConfig{
+		Profile:         *profile,
+		Volumes:         *volumes,
+		ScaleBlocks:     *scaleBlocks,
+		OverwriteFactor: *overwrite,
+		Seed:            *seed,
+	})
+	for _, v := range vols {
+		write(v.Generate(), v.Name)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

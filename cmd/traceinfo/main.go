@@ -1,0 +1,72 @@
+// Command traceinfo characterizes block I/O traces the way Figure 2
+// of the paper does: request rate, write-size distribution, and
+// footprint, for any of the supported trace formats.
+//
+// Usage:
+//
+//	traceinfo -format msr volume1.csv volume2.csv
+//	traceinfo -format bin traces/*.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"adapt"
+)
+
+func main() {
+	format := flag.String("format", "bin", "trace format: msr|ali|tencent|bin")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-format msr|ali|tencent|bin] file...")
+		os.Exit(2)
+	}
+
+	var rates []float64
+	fmt.Printf("%-32s %10s %10s %10s %12s %14s\n",
+		"trace", "requests", "writes", "req/s", "avgWriteKiB", "footprintKiB")
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		fatal(err)
+		var tr *adapt.Trace
+		switch *format {
+		case "msr":
+			tr, err = adapt.ParseMSR(f, path)
+		case "ali":
+			tr, err = adapt.ParseAli(f, path)
+		case "tencent":
+			tr, err = adapt.ParseTencent(f, path)
+		case "bin":
+			tr, err = adapt.ReadBinaryTrace(f)
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		f.Close()
+		fatal(err)
+		st := tr.Stats(4096)
+		rates = append(rates, st.ReqPerSec)
+		fmt.Printf("%-32s %10d %10d %10.2f %12.2f %14d\n",
+			tr.Name, st.Requests, st.Writes, st.ReqPerSec, st.AvgWriteKiB, st.FootprintKiB)
+	}
+	if len(rates) > 1 {
+		sort.Float64s(rates)
+		below10 := 0
+		for _, r := range rates {
+			if r < 10 {
+				below10++
+			}
+		}
+		fmt.Printf("\nvolumes: %d   median rate: %.2f req/s   under 10 req/s: %.1f%%\n",
+			len(rates), rates[len(rates)/2], 100*float64(below10)/float64(len(rates)))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+package adapt
+
+import (
+	"adapt/internal/ftl"
+	"adapt/internal/lss"
+)
+
+// DeviceConfig describes a simulated multi-stream SSD (page-mapped
+// FTL with erase blocks and greedy device GC), used to measure
+// in-device write amplification under different stream mappings
+// (paper §3.1).
+type DeviceConfig struct {
+	// UserPages is the exported logical capacity in 4 KiB pages.
+	UserPages int64
+	// PagesPerBlock is the erase-block size in pages (default 64).
+	PagesPerBlock int
+	// OverProvision is the physical spare fraction (default 0.10).
+	OverProvision float64
+	// Streams is the number of write streams (1 = conventional SSD).
+	Streams int
+}
+
+// Device is a simulated SSD. Not safe for concurrent use.
+type Device struct {
+	dev *ftl.Device
+}
+
+// NewDevice builds a simulated SSD.
+func NewDevice(c DeviceConfig) *Device {
+	return &Device{dev: ftl.NewDevice(ftl.Config{
+		UserPages:     c.UserPages,
+		PagesPerBlock: c.PagesPerBlock,
+		OverProvision: c.OverProvision,
+		Streams:       c.Streams,
+	})}
+}
+
+// WritePage stores one logical page through the given stream
+// (clamped to the device's stream count).
+func (d *Device) WritePage(lpn int64, stream int) error {
+	return d.dev.Write(lpn, stream)
+}
+
+// DeviceMetrics summarizes device-internal activity.
+type DeviceMetrics struct {
+	HostPages     int64
+	MigratedPages int64
+	Erases        int64
+	// WA is in-device write amplification: (host+migrated)/host.
+	WA float64
+	// WearImbalance is max/mean erase count across blocks.
+	WearImbalance float64
+}
+
+// Metrics returns a snapshot.
+func (d *Device) Metrics() DeviceMetrics {
+	m := d.dev.Metrics()
+	return DeviceMetrics{
+		HostPages:     m.HostPages,
+		MigratedPages: m.MigratedPages,
+		Erases:        m.Erases,
+		WA:            m.WA(),
+		WearImbalance: d.dev.WearImbalance(),
+	}
+}
+
+// AttachDevice routes every chunk flush of the simulator to the
+// device, addressing pages at the array's physical segment locations
+// so that segment reuse appears to the device as page overwrites.
+// When mapGroupsToStreams is true, each placement group writes through
+// its own stream (multi-stream mode, §3.1); otherwise everything uses
+// stream 0. The device must be sized with at least
+// SimulatorDevicePages(sim) pages. Only one device (or sink) can be
+// attached at a time.
+func (s *Simulator) AttachDevice(d *Device, mapGroupsToStreams bool) {
+	cfg := s.store.Config()
+	segPages := int64(cfg.SegmentBlocks())
+	s.store.SetChunkSink(func(w lss.ChunkWrite) {
+		stream := 0
+		if mapGroupsToStreams {
+			stream = int(w.Group)
+		}
+		base := int64(w.Segment)*segPages + int64(w.Chunk)*int64(cfg.ChunkBlocks)
+		for p := int64(0); p < int64(cfg.ChunkBlocks); p++ {
+			// The address range is bounded by construction; Write only
+			// fails for out-of-range pages.
+			_ = d.dev.Write(base+p, stream)
+		}
+	})
+}
+
+// SimulatorDevicePages returns the logical page count a device needs
+// to back this simulator's physical segment space.
+func (s *Simulator) SimulatorDevicePages() int64 {
+	return int64(s.store.TotalSegments()) * int64(s.store.Config().SegmentBlocks())
+}
+
+// GroupCount returns the number of placement groups the active policy
+// uses (the stream count for one-to-one mapping).
+func (s *Simulator) GroupCount() int { return s.policy.Groups() }

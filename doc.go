@@ -1,0 +1,24 @@
+// Package adapt is a from-scratch Go implementation of ADAPT
+// (Zhou et al., ICPP 2025): an access-density-aware data placement
+// strategy for GC-efficient log-structured storage on SSD arrays,
+// together with the full substrate it is evaluated on — a
+// trace-driven log-structured store simulator with SLA-bounded chunk
+// coalescing and zero padding over a RAID-5 chunk model, five baseline
+// placement policies (SepGC, DAC, WARCIP, MiDA, SepBIT), workload
+// synthesizers, trace parsers, and a concurrent prototype.
+//
+// The root package is the public facade. A minimal session:
+//
+//	sim, _ := adapt.NewSimulator(adapt.SimulatorConfig{
+//		UserBlocks: 1 << 20,
+//		Policy:     adapt.PolicyADAPT,
+//	})
+//	tr := adapt.GenerateYCSB(adapt.YCSBConfig{Blocks: 1 << 20, Writes: 10 << 20, Fill: true, Theta: 0.99})
+//	_ = sim.Replay(tr)
+//	fmt.Println(sim.Metrics().WA)
+//
+// The cmd/ directory holds the experiment binaries (adaptsim,
+// adaptbench, tracegen, traceinfo); examples/ holds runnable
+// walkthroughs; bench_test.go regenerates every figure of the paper's
+// evaluation as a testing.B benchmark.
+package adapt

@@ -1,0 +1,44 @@
+// Cloudreplay: synthesize an Alibaba-profile volume suite (sparse
+// request rates, small writes, zipfian skew) and compare all six
+// placement policies on it — a miniature of the paper's Figure 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adapt"
+)
+
+func main() {
+	vols := adapt.NewSuite(adapt.SuiteConfig{
+		Profile:     adapt.ProfileAli,
+		Volumes:     4,
+		ScaleBlocks: 16 << 10,
+		Seed:        7,
+	})
+
+	fmt.Printf("%-8s %-28s %8s %8s %10s\n", "policy", "volume", "WA", "effWA", "padding%")
+	for _, policy := range adapt.Policies() {
+		var userSum, gcSum int64
+		for _, vol := range vols {
+			sim, err := adapt.NewSimulator(adapt.SimulatorConfig{
+				UserBlocks: vol.FootprintBlocks,
+				Policy:     policy,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.Replay(vol.Generate()); err != nil {
+				log.Fatal(err)
+			}
+			m := sim.Metrics()
+			userSum += m.UserBlocks
+			gcSum += m.GCBlocks
+			fmt.Printf("%-8s %-28s %8.3f %8.3f %9.2f%%\n",
+				policy, vol.Name, m.WA, m.EffectiveWA, 100*m.PaddingRatio)
+		}
+		fmt.Printf("%-8s %-28s %8.3f\n\n", policy, "OVERALL",
+			float64(userSum+gcSum)/float64(userSum))
+	}
+}

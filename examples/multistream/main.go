@@ -1,0 +1,59 @@
+// Multistream: the §3.1 claim — mapping ADAPT's placement groups to
+// SSD streams one-to-one reduces write amplification *inside* the
+// device, because segments with similar lifetimes land in the same
+// erase blocks. The same workload is replayed twice per policy: once
+// against a single-stream SSD, once with groups mapped to streams.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapt"
+)
+
+func main() {
+	const blocks = 16 << 10
+
+	run := func(policy string, multi bool) (adapt.DeviceMetrics, adapt.Metrics) {
+		sim, err := adapt.NewSimulator(adapt.SimulatorConfig{
+			UserBlocks: blocks,
+			Policy:     policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams := 1
+		if multi {
+			streams = sim.GroupCount()
+		}
+		dev := adapt.NewDevice(adapt.DeviceConfig{
+			UserPages:     sim.SimulatorDevicePages(),
+			PagesPerBlock: 256,
+			OverProvision: 0.07,
+			Streams:       streams,
+		})
+		sim.AttachDevice(dev, multi)
+		tr := adapt.GenerateYCSB(adapt.YCSBConfig{
+			Blocks: blocks, Writes: 6 * blocks, Fill: true,
+			Theta: 0.99, MeanGap: 60 * time.Microsecond, Seed: 5,
+		})
+		if err := sim.Replay(tr); err != nil {
+			log.Fatal(err)
+		}
+		return dev.Metrics(), sim.Metrics()
+	}
+
+	fmt.Printf("%-8s %14s %14s %12s %12s\n",
+		"policy", "1-stream devWA", "multi devWA", "reduction", "host WA")
+	for _, policy := range []string{adapt.PolicySepGC, adapt.PolicySepBIT, adapt.PolicyADAPT} {
+		single, _ := run(policy, false)
+		multi, host := run(policy, true)
+		fmt.Printf("%-8s %14.3f %14.3f %11.1f%% %12.3f\n",
+			policy, single.WA, multi.WA,
+			100*(single.WA-multi.WA)/single.WA, host.EffectiveWA)
+	}
+	fmt.Println("\nDevice WA multiplies with host WA: the array-level data placement")
+	fmt.Println("and the in-device stream separation compound (§3.1).")
+}

@@ -1,0 +1,81 @@
+// Tuning: sensitivity analysis in the style of the paper's Figure 11 —
+// sweep access density (mean interarrival gap) and zipfian skew, and
+// watch how ADAPT and SepGC respond. It also demonstrates the ablation
+// switches: ADAPT with cross-group aggregation disabled.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapt"
+)
+
+const blocks = 16 << 10
+
+func runOnce(policy string, gap time.Duration, theta float64, opts adapt.ADAPTOptions) adapt.Metrics {
+	sim, err := adapt.NewSimulator(adapt.SimulatorConfig{
+		UserBlocks: blocks,
+		Policy:     policy,
+		ADAPT:      opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := adapt.GenerateYCSB(adapt.YCSBConfig{
+		Blocks:  blocks,
+		Writes:  6 * blocks,
+		Fill:    true,
+		Theta:   theta,
+		MeanGap: gap,
+		Seed:    3,
+	})
+	if err := sim.Replay(tr); err != nil {
+		log.Fatal(err)
+	}
+	return sim.Metrics()
+}
+
+func main() {
+	fmt.Println("== access density sweep (θ = 0.99) ==")
+	fmt.Printf("%-10s %10s %10s %12s\n", "density", "policy", "WA", "padding%")
+	for _, d := range []struct {
+		name string
+		gap  time.Duration
+	}{
+		{"light", 300 * time.Microsecond},
+		{"medium", 60 * time.Microsecond},
+		{"heavy", 5 * time.Microsecond},
+	} {
+		for _, p := range []string{adapt.PolicySepGC, adapt.PolicyADAPT} {
+			m := runOnce(p, d.gap, 0.99, adapt.ADAPTOptions{})
+			fmt.Printf("%-10s %10s %10.3f %11.2f%%\n", d.name, p, m.WA, 100*m.PaddingRatio)
+		}
+	}
+
+	fmt.Println("\n== skew sweep (medium density) ==")
+	fmt.Printf("%-10s %10s %10s\n", "zipf α", "policy", "WA")
+	for _, alpha := range []float64{0, 0.5, 0.9, 0.99} {
+		for _, p := range []string{adapt.PolicySepGC, adapt.PolicyADAPT} {
+			m := runOnce(p, 60*time.Microsecond, alpha, adapt.ADAPTOptions{})
+			fmt.Printf("%-10.2f %10s %10.3f\n", alpha, p, m.WA)
+		}
+	}
+
+	fmt.Println("\n== ADAPT ablations (light density, θ = 0.99) ==")
+	fmt.Printf("%-24s %10s %10s %12s\n", "variant", "WA", "effWA", "padding%")
+	variants := []struct {
+		name string
+		opts adapt.ADAPTOptions
+	}{
+		{"full", adapt.ADAPTOptions{}},
+		{"no aggregation", adapt.ADAPTOptions{DisableAggregation: true}},
+		{"no demotion", adapt.ADAPTOptions{DisableDemotion: true}},
+		{"no threshold adapt", adapt.ADAPTOptions{DisableAdaptation: true}},
+	}
+	for _, v := range variants {
+		m := runOnce(adapt.PolicyADAPT, 300*time.Microsecond, 0.99, v.opts)
+		fmt.Printf("%-24s %10.3f %10.3f %11.2f%%\n", v.name, m.WA, m.EffectiveWA, 100*m.PaddingRatio)
+	}
+}

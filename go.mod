@@ -1,0 +1,3 @@
+module adapt
+
+go 1.22

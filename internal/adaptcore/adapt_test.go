@@ -1,0 +1,352 @@
+package adaptcore
+
+import (
+	"testing"
+
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{UserBlocks: 4096, SegmentBlocks: 32, ChunkBlocks: 4, OverProvision: 0.25}
+}
+
+func testOptions() Options {
+	return Options{SampleRate: 1, Ladder: 5, DemotePerFilter: 64}
+}
+
+func TestGroupLayout(t *testing.T) {
+	p := New(testConfig(), testOptions())
+	if p.Groups() != 6 {
+		t.Fatalf("Groups = %d, want 6", p.Groups())
+	}
+	if p.Name() != "adapt" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestUserSeparationHotCold(t *testing.T) {
+	p := New(testConfig(), testOptions())
+	// First write: cold.
+	if g := p.PlaceUser(1, 0, 100); g != GroupCold {
+		t.Fatalf("first write in group %d, want cold", g)
+	}
+	// Quick rewrite: hot (threshold starts at UserBlocks/4 = 1024).
+	if g := p.PlaceUser(1, 0, 110); g != GroupHot {
+		t.Fatalf("quick rewrite in group %d, want hot", g)
+	}
+	// Rewrite far beyond the threshold: cold.
+	if g := p.PlaceUser(1, 0, 110+4096); g != GroupCold {
+		t.Fatalf("slow rewrite in group %d, want cold", g)
+	}
+}
+
+func TestGCClasses(t *testing.T) {
+	p := New(testConfig(), testOptions())
+	tau := sim.WriteClock(p.Threshold())
+	// Hot-origin blocks go to the first GC group regardless of age.
+	if g := p.PlaceGC(5, GroupHot, 0, 0, 10*tau); g != FirstGCGroup {
+		t.Fatalf("hot-origin GC block in group %d", g)
+	}
+	// Cold-origin blocks bin by age.
+	p.PlaceUser(7, 0, 1000)
+	cases := []struct {
+		clock sim.WriteClock
+		want  lss.GroupID
+	}{
+		{1000 + tau/2, FirstGCGroup + 1},
+		{1000 + 2*tau, FirstGCGroup + 2},
+		{1000 + 8*tau, FirstGCGroup + 3},
+	}
+	for _, c := range cases {
+		if g := p.PlaceGC(7, GroupCold, 0, 0, c.clock); g != c.want {
+			t.Errorf("age %d → group %d, want %d", int64(c.clock)-1000, g, c.want)
+		}
+	}
+}
+
+func TestProactiveDemotion(t *testing.T) {
+	p := New(testConfig(), testOptions())
+	const lba = 42
+	target := FirstGCGroup + 1
+	p.PlaceUser(lba, 0, 0)
+	// Simulate the block repeatedly migrating back into the same GC
+	// group: each repeat inserts into the discriminator. The cascade
+	// epochs are small (DemotePerFilter=64), so fill epochs between
+	// insertions to spread them over filters.
+	for epoch := 0; epoch < 3; epoch++ {
+		if g := p.PlaceGC(lba, target, 0, 0, sim.WriteClock(100+epoch)); g != target {
+			t.Fatalf("migration placed in %d, want %d (age below threshold)", g, target)
+		}
+		for i := int64(0); i < 64; i++ {
+			p.dm.onRepeatMigration(10000+i, target) // filler inserts
+		}
+	}
+	// With score >= 2 epochs, a user write must demote directly.
+	g := p.PlaceUser(lba, 0, 200)
+	if g != target {
+		t.Fatalf("user write in group %d, want proactive demotion to %d", g, target)
+	}
+	if p.Demotions() == 0 {
+		t.Fatal("demotion counter not incremented")
+	}
+}
+
+func TestDemotionDisabled(t *testing.T) {
+	opts := testOptions()
+	opts.DisableDemotion = true
+	p := New(testConfig(), opts)
+	const lba = 42
+	target := FirstGCGroup + 1
+	p.PlaceUser(lba, 0, 0)
+	for epoch := 0; epoch < 4; epoch++ {
+		p.PlaceGC(lba, target, 0, 0, sim.WriteClock(100+epoch))
+	}
+	if g := p.PlaceUser(lba, 0, 200); g != GroupHot {
+		// age 200 < threshold 1024 → hot; it must NOT demote.
+		t.Fatalf("disabled demotion still placed in group %d", g)
+	}
+}
+
+func TestGhostSetBasics(t *testing.T) {
+	g := newGhostSet(4, 4, 8)
+	// Fill with distinct blocks: all first accesses go cold.
+	for i := int64(0); i < 16; i++ {
+		g.access(i, -1)
+	}
+	if g.written != 16 {
+		t.Fatalf("written = %d", g.written)
+	}
+	// Re-access with small interval: hot group.
+	g.access(0, 1)
+	hotSegs := 0
+	for _, seg := range g.segs {
+		if seg.hot {
+			hotSegs++
+		}
+	}
+	if hotSegs == 0 {
+		t.Fatal("no hot segment created for short-interval access")
+	}
+}
+
+func TestGhostSetGCDiscards(t *testing.T) {
+	g := newGhostSet(2, 4, 4)
+	// Write far more than capacity; GC must trigger and discard.
+	for i := int64(0); i < 200; i++ {
+		g.access(i%50, -1)
+	}
+	if g.gcs == 0 {
+		t.Fatal("ghost GC never triggered")
+	}
+	if len(g.segs) > g.maxSegs {
+		t.Fatalf("ghost set over capacity: %d > %d", len(g.segs), g.maxSegs)
+	}
+	if g.wa() < 0 {
+		t.Fatalf("negative ghost WA %f", g.wa())
+	}
+}
+
+func TestGhostSetMappingConsistency(t *testing.T) {
+	g := newGhostSet(8, 4, 6)
+	rng := sim.NewRNG(5)
+	for i := 0; i < 2000; i++ {
+		g.access(rng.Int63n(40), rng.Int63n(20)-1)
+	}
+	// Every mapping entry must point at a live segment slot holding
+	// the same LBA, and per-segment valid counts must agree.
+	recount := make(map[*ghostSeg]int)
+	for lba, loc := range g.mapping {
+		if int(loc.slot) >= len(loc.seg.lbas) || loc.seg.lbas[loc.slot] != lba {
+			t.Fatalf("mapping for %d points at wrong slot", lba)
+		}
+		recount[loc.seg]++
+	}
+	for _, seg := range g.segs {
+		if seg.valid != recount[seg] {
+			t.Fatalf("segment valid=%d recount=%d", seg.valid, recount[seg])
+		}
+	}
+}
+
+func TestThresholdAdaptationMovesThreshold(t *testing.T) {
+	// Skewed stream: 20% of blocks take 90% of writes. The ghost
+	// ladder should find a threshold and adopt it at least once.
+	cfg := testConfig()
+	opts := testOptions()
+	p := New(cfg, opts)
+	rng := sim.NewRNG(7)
+	w := sim.WriteClock(0)
+	for i := 0; i < 60000; i++ {
+		var lba int64
+		if rng.Float64() < 0.9 {
+			lba = rng.Int63n(cfg.UserBlocks / 5)
+		} else {
+			lba = rng.Int63n(cfg.UserBlocks)
+		}
+		p.PlaceUser(lba, 0, w)
+		w++
+	}
+	if p.Adoptions() == 0 {
+		t.Fatal("ghost simulation never adopted a threshold")
+	}
+	if p.Threshold() <= 0 {
+		t.Fatalf("non-positive threshold %f", p.Threshold())
+	}
+}
+
+func TestAggregatorDecisions(t *testing.T) {
+	a := newAggregator(GroupHot, GroupCold, 16)
+	snaps := make([]lss.GroupSnapshot, NumGroups)
+	for i := range snaps {
+		snaps[i].Group = lss.GroupID(i)
+		snaps[i].OpenFree = 16
+	}
+	// Hot timeout with 3 unpersisted blocks, cold group has space and
+	// history of large paddings: shadow into cold.
+	snaps[GroupHot].OpenUnpersisted = 3
+	snaps[GroupHot].OpenPending = 3
+	snaps[GroupCold].PaddingBlocks = 120
+	snaps[GroupCold].PaddingEvents = 10 // avg pad 12 ≥ 3
+	act := a.OnChunkTimeout(GroupHot, 0, snaps)
+	if act.Kind != lss.ShadowInto || act.Target != GroupCold {
+		t.Fatalf("expected ShadowInto cold, got %+v", act)
+	}
+	// Oversized hot pending (needs 14 > avg pad 12): decline, pad own
+	// with cold as donor.
+	snaps[GroupHot].OpenUnpersisted = 14
+	act = a.OnChunkTimeout(GroupHot, 0, snaps)
+	if act.Kind != lss.PadOwn || len(act.Donors) != 1 || act.Donors[0] != GroupCold {
+		t.Fatalf("expected PadOwn with cold donor, got %+v", act)
+	}
+	// Cold timeout: hot donates into the padding space.
+	act = a.OnChunkTimeout(GroupCold, 0, snaps)
+	if act.Kind != lss.PadOwn || len(act.Donors) != 1 || act.Donors[0] != GroupHot {
+		t.Fatalf("expected PadOwn with hot donor, got %+v", act)
+	}
+	// GC-group timeout: plain padding.
+	act = a.OnChunkTimeout(FirstGCGroup, 0, snaps)
+	if act.Kind != lss.PadOwn || act.Donors != nil {
+		t.Fatalf("expected plain PadOwn for GC group, got %+v", act)
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	p := New(testConfig(), testOptions())
+	if p.Footprint() <= 0 {
+		t.Fatal("ADAPT footprint must be positive")
+	}
+	if p.BaseFootprint() != 4096*8 {
+		t.Fatalf("BaseFootprint = %d", p.BaseFootprint())
+	}
+	// Feeding writes grows the sampler/ghost footprint.
+	before := p.Footprint()
+	for i := int64(0); i < 2000; i++ {
+		p.PlaceUser(i, 0, sim.WriteClock(i))
+	}
+	if p.Footprint() <= before {
+		t.Fatal("footprint did not grow with tracked blocks")
+	}
+}
+
+// TestADAPTDrivesStore runs the full policy against the real store on
+// a sparse skewed workload and checks the machinery engages: shadow
+// appends happen, padding is incurred but bounded, data survives.
+func TestADAPTDrivesStore(t *testing.T) {
+	cfg := lss.Config{
+		UserBlocks:    4096,
+		ChunkBlocks:   4,
+		SegmentChunks: 8,
+		OverProvision: 0.25,
+		SLAWindow:     100 * sim.Microsecond,
+	}
+	p := New(Config{
+		UserBlocks:    cfg.UserBlocks,
+		SegmentBlocks: cfg.SegmentBlocks(),
+		ChunkBlocks:   cfg.ChunkBlocks,
+		OverProvision: cfg.OverProvision,
+	}, Options{SampleRate: 0.5, Ladder: 5, DemotePerFilter: 256})
+	s := lss.New(cfg, p)
+	rng := sim.NewRNG(21)
+	for i := int64(0); i < cfg.UserBlocks; i++ {
+		if err := s.WriteBlock(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := sim.Time(0)
+	for i := 0; i < int(cfg.UserBlocks)*8; i++ {
+		// Sparse arrivals: half the gaps exceed the SLA window.
+		now += sim.Time(rng.Int63n(300)) * sim.Microsecond
+		var lba int64
+		if rng.Float64() < 0.8 {
+			lba = rng.Int63n(cfg.UserBlocks / 5)
+		} else {
+			lba = rng.Int63n(cfg.UserBlocks)
+		}
+		if err := s.WriteBlock(lba, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain(now + sim.Second)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LiveBlocks(); got != cfg.UserBlocks {
+		t.Fatalf("LiveBlocks = %d, want %d", got, cfg.UserBlocks)
+	}
+	m := s.Metrics()
+	if m.WA() < 1 {
+		t.Fatalf("WA = %f < 1", m.WA())
+	}
+	t.Logf("ADAPT on sparse skewed load: %s shadowGrants=%d demotions=%d adoptions=%d",
+		m, p.ShadowGrants(), p.Demotions(), p.Adoptions())
+}
+
+// TestADAPTShadowReducesPadding compares ADAPT with and without
+// cross-group aggregation on the same sparse workload: aggregation
+// must not increase padding, and normally reduces it.
+func TestADAPTShadowReducesPadding(t *testing.T) {
+	run := func(disable bool) (*lss.Metrics, *Policy) {
+		cfg := lss.Config{
+			UserBlocks:    4096,
+			ChunkBlocks:   4,
+			SegmentChunks: 8,
+			OverProvision: 0.25,
+			SLAWindow:     100 * sim.Microsecond,
+		}
+		p := New(Config{
+			UserBlocks:    cfg.UserBlocks,
+			SegmentBlocks: cfg.SegmentBlocks(),
+			ChunkBlocks:   cfg.ChunkBlocks,
+			OverProvision: cfg.OverProvision,
+		}, Options{SampleRate: 0.5, Ladder: 5, DemotePerFilter: 256, DisableAggregation: disable})
+		s := lss.New(cfg, p)
+		rng := sim.NewRNG(33)
+		now := sim.Time(0)
+		for i := 0; i < 30000; i++ {
+			now += sim.Time(rng.Int63n(400)) * sim.Microsecond
+			var lba int64
+			if rng.Float64() < 0.7 {
+				lba = rng.Int63n(cfg.UserBlocks / 8)
+			} else {
+				lba = rng.Int63n(cfg.UserBlocks)
+			}
+			if err := s.WriteBlock(lba, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Drain(now + sim.Second)
+		return s.Metrics(), p
+	}
+	with, pol := run(false)
+	without, _ := run(true)
+	if pol.ShadowGrants() == 0 {
+		t.Fatal("aggregation never engaged on a sparse workload")
+	}
+	if with.PaddingBlocks > without.PaddingBlocks {
+		t.Fatalf("aggregation increased padding: %d > %d",
+			with.PaddingBlocks, without.PaddingBlocks)
+	}
+	t.Logf("padding with aggregation %d, without %d (shadow=%d)",
+		with.PaddingBlocks, without.PaddingBlocks, with.ShadowBlocks)
+}

@@ -1,0 +1,80 @@
+package adaptcore
+
+import (
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+// aggregator implements cross-group dynamic aggregation (§3.3). On an
+// SLA timeout of the hot user group's open chunk it decides whether to
+// shadow-append the unpersisted hot blocks into the cold user group's
+// open chunk (persisting them there and letting the originals
+// accumulate lazily), and on a timeout of the cold group it offers the
+// hot group's pending blocks as padding fillers.
+type aggregator struct {
+	hot, cold   lss.GroupID
+	chunkBlocks int
+
+	shadowGrants int64
+	shadowDenies int64
+}
+
+func newAggregator(hot, cold lss.GroupID, chunkBlocks int) *aggregator {
+	return &aggregator{hot: hot, cold: cold, chunkBlocks: chunkBlocks}
+}
+
+// avgPad returns the group's average padding size per padded chunk in
+// blocks — the C_i statistic of Eq. (1) expressed as the complementary
+// padding amount. Falls back to half a chunk with no history.
+func (a *aggregator) avgPad(s lss.GroupSnapshot) float64 {
+	if s.PaddingEvents == 0 {
+		return float64(a.chunkBlocks) / 2
+	}
+	return float64(s.PaddingBlocks) / float64(s.PaddingEvents)
+}
+
+// OnChunkTimeout implements the decision logic invoked by the store's
+// lss.Advisor hook (wired through Policy).
+func (a *aggregator) OnChunkTimeout(g lss.GroupID, _ sim.Time, groups []lss.GroupSnapshot) lss.TimeoutAction {
+	switch g {
+	case a.hot:
+		hot := groups[a.hot]
+		cold := groups[a.cold]
+		need := hot.OpenUnpersisted
+		// Aggregation condition, three parts (§3.3):
+		//  1. the cold chunk must absorb every unpersisted hot block
+		//     (the store enforces capacity; we re-check to account),
+		//  2. the cold chunk must hold pending blocks of its own —
+		//     shadow copies displace padding only when they co-flush
+		//     with real cold data; shadowing into an empty chunk pads
+		//     exactly as much and duplicates the hot blocks for free,
+		//  3. the aggregated bytes must not exceed the cold group's
+		//     average padding size — beyond that, shadow copies would
+		//     cost more array traffic than the padding they displace.
+		// With an empty cold chunk, shadowing pads exactly as much as
+		// padding the hot chunk would, but it keeps the hot chunk open
+		// (hot segments stay dense); that trade only pays when the
+		// duplicate traffic is small.
+		cheapDup := need*4 <= a.chunkBlocks
+		if need > 0 && need <= cold.OpenFree && (cold.OpenPending > 0 || cheapDup) &&
+			float64(need) <= a.avgPad(cold) {
+			a.shadowGrants++
+			return lss.TimeoutAction{Kind: lss.ShadowInto, Target: a.cold}
+		}
+		a.shadowDenies++
+		// Even when shadowing is not worthwhile, let the cold group's
+		// pending blocks ride along in the hot chunk's padding space:
+		// strictly less padding for the same flush.
+		return lss.TimeoutAction{Kind: lss.PadOwn, Donors: []lss.GroupID{a.cold}}
+	case a.cold:
+		// The cold chunk is about to pad: fill the padding space with
+		// the hot group's unpersisted pending blocks (shadow append in
+		// the piggyback direction) — this is the "unused space in cold
+		// groups" the paper's insight is built on.
+		return lss.TimeoutAction{Kind: lss.PadOwn, Donors: []lss.GroupID{a.hot}}
+	default:
+		// GC-rewritten groups flush their own chunk; their traffic is
+		// bulk and rarely pads (Observation 2).
+		return lss.TimeoutAction{Kind: lss.PadOwn}
+	}
+}

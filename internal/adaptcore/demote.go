@@ -1,0 +1,83 @@
+package adaptcore
+
+import (
+	"adapt/internal/bloom"
+	"adapt/internal/lss"
+)
+
+// demoter implements proactive demotion placement (§3.4). Each
+// GC-rewritten group owns a cascading discriminator (a FIFO ring of
+// Bloom filters). During GC, valid blocks that migrate back into their
+// origin GC group are inserted into that group's discriminator — such
+// blocks demonstrably live about as long as that group's segments. On
+// a user write, the re-access (RA) score of the LBA against each
+// group's discriminator counts how many recent epochs re-confirmed the
+// block's residency; a score at or above the threshold demotes the
+// block straight into that GC group, skipping the user-written groups
+// and the migrations it would otherwise take to get there.
+type demoter struct {
+	cascades  []*bloom.Cascade
+	firstGC   lss.GroupID // GroupID of the first GC-rewritten group
+	scoreMin  int
+	lookups   int64
+	demotions int64
+}
+
+// newDemoter builds discriminators for the GC groups
+// [firstGC, firstGC+n).
+func newDemoter(firstGC lss.GroupID, n, depth, perFilter, scoreMin int) *demoter {
+	if depth < 1 {
+		depth = 4
+	}
+	if perFilter < 16 {
+		perFilter = 16
+	}
+	if scoreMin < 1 {
+		scoreMin = 2
+	}
+	d := &demoter{
+		cascades: make([]*bloom.Cascade, n),
+		firstGC:  firstGC,
+		scoreMin: scoreMin,
+	}
+	for i := range d.cascades {
+		d.cascades[i] = bloom.NewCascade(depth, perFilter, 0.01)
+	}
+	return d
+}
+
+// onRepeatMigration records that GC migrated lba back into GC group g.
+func (d *demoter) onRepeatMigration(lba int64, g lss.GroupID) {
+	idx := int(g - d.firstGC)
+	if idx < 0 || idx >= len(d.cascades) {
+		return
+	}
+	d.cascades[idx].Insert(lba)
+}
+
+// check scores lba against every discriminator and returns the GC
+// group to demote into, if any score reaches the threshold. Ties go to
+// the colder (higher-indexed) group, whose segments live longest.
+func (d *demoter) check(lba int64) (lss.GroupID, bool) {
+	d.lookups++
+	bestIdx, bestScore := -1, 0
+	for i, c := range d.cascades {
+		if s := c.Score(lba); s >= bestScore && s > 0 {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestIdx >= 0 && bestScore >= d.scoreMin {
+		d.demotions++
+		return d.firstGC + lss.GroupID(bestIdx), true
+	}
+	return lss.NoGroup, false
+}
+
+// footprint returns the discriminators' memory use in bytes.
+func (d *demoter) footprint() int64 {
+	var n int64
+	for _, c := range d.cascades {
+		n += c.Footprint()
+	}
+	return n
+}

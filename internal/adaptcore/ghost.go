@@ -1,0 +1,147 @@
+// Package adaptcore implements ADAPT (§3): density-aware threshold
+// adaptation over ghost-set simulations, cross-group dynamic
+// aggregation of sparse hot writes, and proactive demotion placement
+// through cascading Bloom discriminators. The package provides an
+// lss.Policy (plus the lss.Advisor and lss.SegmentObserver hooks) that
+// drops into the same store as the baselines.
+package adaptcore
+
+// ghostLoc addresses a slot inside a ghost segment.
+type ghostLoc struct {
+	seg  *ghostSeg
+	slot int32
+}
+
+// ghostSeg is an LBA-only segment: it records which sampled LBAs were
+// appended, never their data.
+type ghostSeg struct {
+	lbas   []int64
+	valid  int
+	sealed bool
+	hot    bool
+}
+
+// ghostSet simulates the user-written groups of the store under one
+// candidate hot/cold threshold (§3.2). It tracks only sampled LBAs;
+// segments are proportionally scaled by the sampling rate. GC discards
+// valid blocks instead of rewriting them (in the real system they
+// would migrate to GC-rewritten groups, leaving the user groups), and
+// WA is the ratio of discarded to written blocks.
+type ghostSet struct {
+	threshold int64 // hot iff unique sampled interval < threshold
+	segCap    int   // blocks per ghost segment
+	maxSegs   int   // capacity limit that triggers ghost GC
+
+	segs    []*ghostSeg  // live segments, in allocation order
+	open    [2]*ghostSeg // open segment per group: 0 hot, 1 cold
+	mapping map[int64]ghostLoc
+
+	written   int64
+	discarded int64
+	gcs       int64
+}
+
+// newGhostSet builds a ghost set. segCap is the scaled segment size in
+// sampled blocks; maxSegs bounds the ghost capacity (deriving from the
+// real store's user-group share of capacity, scaled by the rate).
+func newGhostSet(threshold int64, segCap, maxSegs int) *ghostSet {
+	if segCap < 1 {
+		segCap = 1
+	}
+	if maxSegs < 4 {
+		maxSegs = 4
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &ghostSet{
+		threshold: threshold,
+		segCap:    segCap,
+		maxSegs:   maxSegs,
+		mapping:   make(map[int64]ghostLoc),
+	}
+}
+
+// access records a sampled write with the given unique-interval (use
+// a negative value for first accesses, which classify cold).
+func (g *ghostSet) access(lba, interval int64) {
+	grp := 1
+	if interval >= 0 && interval < g.threshold {
+		grp = 0
+	}
+	// Invalidate the previous location.
+	if loc, ok := g.mapping[lba]; ok {
+		loc.seg.valid--
+	}
+	seg := g.open[grp]
+	if seg == nil || seg.sealed {
+		seg = &ghostSeg{lbas: make([]int64, 0, g.segCap), hot: grp == 0}
+		g.segs = append(g.segs, seg)
+		g.open[grp] = seg
+	}
+	seg.lbas = append(seg.lbas, lba)
+	g.mapping[lba] = ghostLoc{seg: seg, slot: int32(len(seg.lbas) - 1)}
+	seg.valid++
+	if len(seg.lbas) == g.segCap {
+		seg.sealed = true
+	}
+	g.written++
+	for len(g.segs) > g.maxSegs {
+		if !g.gc() {
+			break
+		}
+	}
+}
+
+// gc discards the sealed segment with the fewest valid blocks (greedy,
+// matching the store's default) and counts its valid blocks as
+// would-be migrations. Returns false if no sealed segment exists.
+func (g *ghostSet) gc() bool {
+	victim := -1
+	best := g.segCap + 1
+	for i, seg := range g.segs {
+		if !seg.sealed {
+			continue
+		}
+		if seg.valid < best {
+			victim, best = i, seg.valid
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	seg := g.segs[victim]
+	for slot, lba := range seg.lbas {
+		loc, ok := g.mapping[lba]
+		if ok && loc.seg == seg && loc.slot == int32(slot) {
+			delete(g.mapping, lba)
+			g.discarded++
+		}
+	}
+	g.segs = append(g.segs[:victim], g.segs[victim+1:]...)
+	g.gcs++
+	return true
+}
+
+// wa returns the ghost WA measure: discarded valid blocks per written
+// block (§3.2). Lower is better.
+func (g *ghostSet) wa() float64 {
+	if g.written == 0 {
+		return 0
+	}
+	return float64(g.discarded) / float64(g.written)
+}
+
+// settled reports whether the set has experienced enough GC activity
+// for its WA to be meaningful.
+func (g *ghostSet) settled(minGCs int64) bool { return g.gcs >= minGCs }
+
+// footprint estimates memory use: ≈20 bytes per simulated block
+// (§4.4: LBA record plus index entry).
+func (g *ghostSet) footprint() int64 {
+	var blocks int64
+	for _, seg := range g.segs {
+		blocks += int64(len(seg.lbas))
+	}
+	return blocks*8 + int64(len(g.mapping))*48
+}

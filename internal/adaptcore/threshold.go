@@ -1,0 +1,193 @@
+package adaptcore
+
+import (
+	"adapt/internal/sampling"
+)
+
+// thresholdAdapter implements density-aware threshold adaptation
+// (§3.2): it spatially samples the user write stream, replays the
+// sampled sub-stream through a ladder of ghost sets with candidate
+// thresholds, and periodically adopts the threshold whose ghost WA is
+// lowest, rescaled to real write-clock units.
+type thresholdAdapter struct {
+	sampler *sampling.Sampler
+	sets    []*ghostSet
+
+	rate    float64
+	unit    int64 // threshold step = ghost segment capacity
+	segCap  int
+	maxSegs int
+	ladder  int
+
+	realThreshold float64 // hot/cold boundary in raw write-clock blocks
+	expMode       bool    // exponential ladder vs linear refinement
+	adoptions     int64
+	writesSince   int64
+	adoptEvery    int64
+	minGCs        int64
+	coldStart     bool // realThreshold still from the initial heuristic
+}
+
+// newThresholdAdapter sizes the adapter from store geometry.
+// capacityShare is the fraction of physical capacity the user-written
+// groups are assumed to occupy (Observation 4: GC groups dominate).
+func newThresholdAdapter(rate float64, ladder int, userBlocks int64, segBlocks int, overProvision, capacityShare float64) *thresholdAdapter {
+	if ladder < 3 {
+		ladder = 3
+	}
+	if rate <= 0 || rate > 1 {
+		rate = 0.01
+	}
+	segCap := int(float64(segBlocks) * rate)
+	if segCap < 1 {
+		segCap = 1
+	}
+	maxSegs := int(float64(userBlocks) * rate * (1 + overProvision) * capacityShare / float64(segCap))
+	if maxSegs < 8 {
+		maxSegs = 8
+	}
+	ta := &thresholdAdapter{
+		sampler:       sampling.NewSampler(rate),
+		rate:          rate,
+		unit:          int64(segCap),
+		segCap:        segCap,
+		maxSegs:       maxSegs,
+		ladder:        ladder,
+		realThreshold: float64(userBlocks) / 4, // cold-start heuristic
+		expMode:       true,
+		adoptEvery:    userBlocks / 10,
+		minGCs:        4,
+		coldStart:     true,
+	}
+	if ta.adoptEvery < 1 {
+		ta.adoptEvery = 1
+	}
+	ta.buildLadder(ta.unit)
+	return ta
+}
+
+// buildLadder constructs fresh ghost sets around center. In
+// exponential mode thresholds double per rung starting at center; in
+// linear mode they step by one unit around center.
+func (ta *thresholdAdapter) buildLadder(center int64) {
+	if center < 1 {
+		center = 1
+	}
+	ta.sets = make([]*ghostSet, ta.ladder)
+	half := ta.ladder / 2
+	for i := range ta.sets {
+		var t int64
+		if ta.expMode {
+			shift := i - half
+			t = center
+			for s := 0; s < shift; s++ {
+				t *= 2
+			}
+			for s := 0; s > shift; s-- {
+				t /= 2
+			}
+		} else {
+			t = center + int64(i-half)*ta.unit
+		}
+		if t < 1 {
+			t = 1
+		}
+		ta.sets[i] = newGhostSet(t, ta.segCap, ta.maxSegs)
+	}
+}
+
+// offer feeds one user write into the sampler and ghost sets, and
+// adopts a new threshold when the simulation is trustworthy (write
+// volume over 10% of capacity, or every set's WA has stabilized).
+func (ta *thresholdAdapter) offer(lba int64) {
+	s := ta.sampler.Offer(lba)
+	if s.Sampled {
+		iv := int64(-1)
+		if !s.First {
+			iv = s.UniqueSampled
+		}
+		for _, set := range ta.sets {
+			set.access(lba, iv)
+		}
+	}
+	ta.writesSince++
+	settled := true
+	for _, set := range ta.sets {
+		if !set.settled(ta.minGCs) {
+			settled = false
+			break
+		}
+	}
+	if settled || ta.writesSince >= ta.adoptEvery {
+		ta.adopt()
+	}
+}
+
+// adopt applies the best ghost configuration (§3.2, "updating
+// threshold configuration") and re-spans the ladder.
+func (ta *thresholdAdapter) adopt() {
+	ta.writesSince = 0
+	best, any := 0, false
+	for i, set := range ta.sets {
+		if set.gcs == 0 {
+			continue
+		}
+		if !any || set.wa() < ta.sets[best].wa() {
+			best, any = i, true
+		}
+	}
+	if !any {
+		return // no GC signal yet: keep the current threshold
+	}
+	bestT := ta.sets[best].threshold
+	// Scale sampled-unique units to real write-clock blocks: divide by
+	// the rate, then convert unique intervals to raw intervals using
+	// the sampler's measured duplicate ratio.
+	ta.realThreshold = float64(bestT) / ta.rate * ta.sampler.RawPerUnique()
+	ta.coldStart = false
+	ta.adoptions++
+
+	// Monotone WA across the ladder means the optimum lies beyond the
+	// window: keep (or return to) the exponential span to move fast.
+	ta.expMode = ta.monotone() || best == 0 || best == len(ta.sets)-1
+	ta.buildLadder(bestT)
+}
+
+// monotone reports whether ghost WA is strictly monotonic in the
+// threshold across the ladder.
+func (ta *thresholdAdapter) monotone() bool {
+	inc, dec := true, true
+	for i := 1; i < len(ta.sets); i++ {
+		a, b := ta.sets[i-1].wa(), ta.sets[i].wa()
+		if b < a {
+			inc = false
+		}
+		if b > a {
+			dec = false
+		}
+	}
+	return inc || dec
+}
+
+// seedInitial sets the cold-start threshold from an observed hot-group
+// segment lifespan (§3.2: "configure the initial threshold via the
+// lifespan of segments in the hot group"). Ignored after the first
+// ghost adoption.
+func (ta *thresholdAdapter) seedInitial(lifespan float64) {
+	if ta.coldStart && lifespan > 0 {
+		ta.realThreshold = lifespan
+	}
+}
+
+// threshold returns the current hot/cold boundary in raw write-clock
+// blocks.
+func (ta *thresholdAdapter) threshold() float64 { return ta.realThreshold }
+
+// footprint returns the adapter's memory use in bytes.
+func (ta *thresholdAdapter) footprint() int64 {
+	n := ta.sampler.Footprint()
+	for _, set := range ta.sets {
+		n += set.footprint()
+	}
+	return n
+}

@@ -1,0 +1,183 @@
+package adaptcore
+
+import (
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+func newTestAdapter() *thresholdAdapter {
+	// rate 1 so every write is sampled; small ladder for readability.
+	return newThresholdAdapter(1, 5, 4096, 32, 0.25, 0.15)
+}
+
+func TestLadderExponentialSpacing(t *testing.T) {
+	ta := newTestAdapter()
+	if !ta.expMode {
+		t.Fatal("adapter must start in exponential mode")
+	}
+	for i := 1; i < len(ta.sets); i++ {
+		a, b := ta.sets[i-1].threshold, ta.sets[i].threshold
+		if b != 2*a && !(a == 1 && b == 1) {
+			t.Fatalf("exponential ladder rung %d: %d then %d", i, a, b)
+		}
+	}
+}
+
+func TestLadderLinearSpacing(t *testing.T) {
+	ta := newTestAdapter()
+	ta.expMode = false
+	ta.buildLadder(100)
+	half := ta.ladder / 2
+	for i, set := range ta.sets {
+		want := int64(100) + int64(i-half)*ta.unit
+		if want < 1 {
+			want = 1
+		}
+		if set.threshold != want {
+			t.Fatalf("linear rung %d threshold %d, want %d", i, set.threshold, want)
+		}
+	}
+}
+
+func TestLadderClampsToOne(t *testing.T) {
+	ta := newTestAdapter()
+	ta.expMode = false
+	ta.buildLadder(1)
+	for _, set := range ta.sets {
+		if set.threshold < 1 {
+			t.Fatalf("threshold %d below 1", set.threshold)
+		}
+	}
+}
+
+func TestMonotoneDetection(t *testing.T) {
+	ta := newTestAdapter()
+	// Fabricate monotone WA by writing/discard counters directly.
+	for i, set := range ta.sets {
+		set.written = 100
+		set.discarded = int64(10 * (i + 1)) // increasing WA
+	}
+	if !ta.monotone() {
+		t.Fatal("increasing WA not detected as monotone")
+	}
+	// Make it non-monotone: dip in the middle.
+	ta.sets[2].discarded = 1
+	if ta.monotone() {
+		t.Fatal("valley misdetected as monotone")
+	}
+}
+
+func TestAdoptKeepsThresholdWithoutGCSignal(t *testing.T) {
+	ta := newTestAdapter()
+	before := ta.threshold()
+	ta.adopt() // no ghost set has run GC yet
+	if ta.threshold() != before {
+		t.Fatal("adopt moved the threshold without any GC signal")
+	}
+	if ta.adoptions != 0 {
+		t.Fatal("adoption counted without signal")
+	}
+}
+
+func TestSeedInitialOnlyDuringColdStart(t *testing.T) {
+	ta := newTestAdapter()
+	ta.seedInitial(777)
+	if ta.threshold() != 777 {
+		t.Fatalf("cold-start seed ignored: %f", ta.threshold())
+	}
+	// Force one adoption, then the seed must be ignored.
+	ta.sets[1].written = 1000
+	ta.sets[1].discarded = 1
+	ta.sets[1].gcs = 1
+	ta.adopt()
+	after := ta.threshold()
+	ta.seedInitial(123456)
+	if ta.threshold() != after {
+		t.Fatal("seedInitial overrode an adopted threshold")
+	}
+}
+
+func TestAdoptPicksMinWASet(t *testing.T) {
+	ta := newTestAdapter()
+	for i, set := range ta.sets {
+		set.written = 1000
+		set.gcs = 5
+		set.discarded = int64(100 + 50*abs(i-2)) // minimum at rung 2
+	}
+	wantT := ta.sets[2].threshold
+	ta.adopt()
+	if ta.adoptions != 1 {
+		t.Fatalf("adoptions = %d", ta.adoptions)
+	}
+	// Real threshold = ghost threshold / rate × rawPerUnique (rate 1,
+	// no pairs → rawPerUnique 1).
+	if ta.threshold() != float64(wantT) {
+		t.Fatalf("threshold %f, want %d", ta.threshold(), wantT)
+	}
+}
+
+func TestAdoptionAtEdgeKeepsExponentialMode(t *testing.T) {
+	ta := newTestAdapter()
+	for i, set := range ta.sets {
+		set.written = 1000
+		set.gcs = 5
+		set.discarded = int64(1000 - 100*i) // best at the top edge
+	}
+	ta.adopt()
+	if !ta.expMode {
+		t.Fatal("edge optimum must re-span exponentially")
+	}
+}
+
+func TestAdoptionInteriorSwitchesToLinear(t *testing.T) {
+	ta := newTestAdapter()
+	for i, set := range ta.sets {
+		set.written = 1000
+		set.gcs = 5
+		set.discarded = int64(100 + 200*abs(i-2)) // interior valley
+	}
+	ta.adopt()
+	if ta.expMode {
+		t.Fatal("interior non-monotone optimum must switch to linear refinement")
+	}
+}
+
+func TestOfferDrivesAdoption(t *testing.T) {
+	ta := newTestAdapter()
+	rng := sim.NewRNG(2)
+	// Skewed stream long enough to trip either adoption condition.
+	for i := 0; i < 50000; i++ {
+		var lba int64
+		if rng.Float64() < 0.9 {
+			lba = rng.Int63n(512)
+		} else {
+			lba = rng.Int63n(4096)
+		}
+		ta.offer(lba)
+	}
+	if ta.adoptions == 0 {
+		t.Fatal("no adoption after 50k skewed writes at rate 1")
+	}
+	if ta.threshold() <= 0 {
+		t.Fatalf("threshold %f", ta.threshold())
+	}
+}
+
+func TestGhostFootprintGrows(t *testing.T) {
+	g := newGhostSet(8, 4, 16)
+	before := g.footprint()
+	for i := int64(0); i < 200; i++ {
+		g.access(i%40, -1)
+	}
+	if g.footprint() <= before {
+		t.Fatal("ghost footprint did not grow")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

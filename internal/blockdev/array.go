@@ -1,0 +1,213 @@
+// Package blockdev models the SSD array beneath the log-structured
+// store. Two models are provided:
+//
+//   - Array: a fast accounting-only model used by the trace-driven
+//     simulator. It tracks data/padding/parity chunk traffic and
+//     per-column balance at chunk granularity (the array's minimum
+//     write unit, §2.2).
+//   - DataArray: a byte-accurate in-memory RAID-5 array with real XOR
+//     parity and single-column reconstruction, used by the prototype
+//     and by the parity property tests.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Array is the accounting model of a RAID-5 SSD array. Chunks are
+// appended round-robin across data columns; every DataColumns data
+// chunks complete a stripe and generate one parity chunk on a rotating
+// parity column (left-symmetric layout).
+type Array struct {
+	dataColumns int
+	chunkBytes  int64
+
+	dataChunks   int64
+	parityChunks int64
+	dataBytes    int64 // payload bytes (user + GC + shadow)
+	padBytes     int64 // zero padding bytes
+
+	colWrites  []int64 // chunk writes per physical column (data+parity)
+	stripeFill int     // data chunks in the currently forming stripe
+	nextCol    int     // next data column (among non-parity positions)
+	parityRow  int64   // stripe counter, determines parity column
+}
+
+// NewArray builds an accounting array with dataColumns data columns
+// (total columns = dataColumns+1 including parity) and the given chunk
+// size in bytes.
+func NewArray(dataColumns int, chunkBytes int64) *Array {
+	if dataColumns < 1 {
+		panic("blockdev: need at least one data column")
+	}
+	if chunkBytes <= 0 {
+		panic("blockdev: chunk size must be positive")
+	}
+	return &Array{
+		dataColumns: dataColumns,
+		chunkBytes:  chunkBytes,
+		colWrites:   make([]int64, dataColumns+1),
+	}
+}
+
+// DataColumns returns the number of data columns per stripe.
+func (a *Array) DataColumns() int { return a.dataColumns }
+
+// ChunkBytes returns the chunk size in bytes.
+func (a *Array) ChunkBytes() int64 { return a.chunkBytes }
+
+// WriteChunk records one chunk write containing payloadBytes of real
+// data and padBytes of zero padding. payloadBytes+padBytes must equal
+// the chunk size: the array only accepts full chunks (partial writes
+// have already been padded by the log-structured layer).
+func (a *Array) WriteChunk(payloadBytes, padBytes int64) {
+	if payloadBytes+padBytes != a.chunkBytes {
+		panic(fmt.Sprintf("blockdev: chunk write of %d+%d bytes, want %d",
+			payloadBytes, padBytes, a.chunkBytes))
+	}
+	a.dataChunks++
+	a.dataBytes += payloadBytes
+	a.padBytes += padBytes
+
+	// Left-symmetric RAID-5: parity column rotates per stripe.
+	parityCol := int(a.parityRow % int64(a.dataColumns+1))
+	col := a.nextCol
+	if col >= parityCol {
+		col++ // skip the parity position
+	}
+	a.colWrites[col]++
+	a.stripeFill++
+	a.nextCol++
+	if a.stripeFill == a.dataColumns {
+		a.parityChunks++
+		a.colWrites[parityCol]++
+		a.stripeFill = 0
+		a.nextCol = 0
+		a.parityRow++
+	}
+}
+
+// DataChunks returns the number of data chunks written.
+func (a *Array) DataChunks() int64 { return a.dataChunks }
+
+// ParityChunks returns the number of parity chunks written.
+func (a *Array) ParityChunks() int64 { return a.parityChunks }
+
+// PayloadBytes returns real payload bytes written (excludes padding).
+func (a *Array) PayloadBytes() int64 { return a.dataBytes }
+
+// PaddingBytes returns zero-padding bytes written.
+func (a *Array) PaddingBytes() int64 { return a.padBytes }
+
+// TotalBytes returns all bytes written to the array including padding
+// and parity.
+func (a *Array) TotalBytes() int64 {
+	return (a.dataChunks + a.parityChunks) * a.chunkBytes
+}
+
+// ColumnWrites returns a copy of per-column chunk-write counters.
+func (a *Array) ColumnWrites() []int64 {
+	out := make([]int64, len(a.colWrites))
+	copy(out, a.colWrites)
+	return out
+}
+
+// ErrBadStripe is returned by DataArray operations on malformed input.
+var ErrBadStripe = errors.New("blockdev: malformed stripe")
+
+// DataArray is a byte-accurate in-memory RAID-5 array. It stores full
+// stripes (DataColumns data chunks plus one XOR parity chunk, rotating
+// parity position) and can reconstruct any single lost column.
+type DataArray struct {
+	dataColumns int
+	chunkBytes  int
+	// disks[col] is the sequence of chunks written to that column.
+	disks [][][]byte
+	rows  int64
+}
+
+// NewDataArray builds a byte-accurate array.
+func NewDataArray(dataColumns, chunkBytes int) *DataArray {
+	if dataColumns < 1 || chunkBytes <= 0 {
+		panic("blockdev: invalid DataArray geometry")
+	}
+	return &DataArray{
+		dataColumns: dataColumns,
+		chunkBytes:  chunkBytes,
+		disks:       make([][][]byte, dataColumns+1),
+	}
+}
+
+// ChunkBytes returns the chunk size in bytes.
+func (d *DataArray) ChunkBytes() int { return d.chunkBytes }
+
+// Rows returns the number of stripes written.
+func (d *DataArray) Rows() int64 { return d.rows }
+
+// WriteStripe stores one full stripe of DataColumns chunks, computing
+// and storing XOR parity on the rotating parity column. Each chunk
+// must be exactly ChunkBytes long. The chunks are copied.
+func (d *DataArray) WriteStripe(chunks [][]byte) error {
+	if len(chunks) != d.dataColumns {
+		return fmt.Errorf("%w: %d chunks, want %d", ErrBadStripe, len(chunks), d.dataColumns)
+	}
+	for _, c := range chunks {
+		if len(c) != d.chunkBytes {
+			return fmt.Errorf("%w: chunk of %d bytes, want %d", ErrBadStripe, len(c), d.chunkBytes)
+		}
+	}
+	parity := make([]byte, d.chunkBytes)
+	for _, c := range chunks {
+		for i, b := range c {
+			parity[i] ^= b
+		}
+	}
+	parityCol := int(d.rows % int64(d.dataColumns+1))
+	ci := 0
+	for col := 0; col <= d.dataColumns; col++ {
+		var payload []byte
+		if col == parityCol {
+			payload = parity
+		} else {
+			payload = append([]byte(nil), chunks[ci]...)
+			ci++
+		}
+		d.disks[col] = append(d.disks[col], payload)
+	}
+	d.rows++
+	return nil
+}
+
+// ReadChunk returns the idx-th data chunk of stripe row (0-based,
+// skipping the parity column).
+func (d *DataArray) ReadChunk(row int64, idx int) ([]byte, error) {
+	if row < 0 || row >= d.rows || idx < 0 || idx >= d.dataColumns {
+		return nil, fmt.Errorf("%w: row %d idx %d", ErrBadStripe, row, idx)
+	}
+	parityCol := int(row % int64(d.dataColumns+1))
+	col := idx
+	if col >= parityCol {
+		col++
+	}
+	return d.disks[col][row], nil
+}
+
+// ReconstructColumn recomputes the contents of a lost column for the
+// given stripe row by XOR of all surviving columns — the RAID-5
+// recovery path.
+func (d *DataArray) ReconstructColumn(row int64, lostCol int) ([]byte, error) {
+	if row < 0 || row >= d.rows || lostCol < 0 || lostCol > d.dataColumns {
+		return nil, fmt.Errorf("%w: row %d col %d", ErrBadStripe, row, lostCol)
+	}
+	out := make([]byte, d.chunkBytes)
+	for col := 0; col <= d.dataColumns; col++ {
+		if col == lostCol {
+			continue
+		}
+		for i, b := range d.disks[col][row] {
+			out[i] ^= b
+		}
+	}
+	return out, nil
+}

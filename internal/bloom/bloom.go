@@ -1,0 +1,163 @@
+// Package bloom provides a Bloom filter and the cascading discriminator
+// used by ADAPT's proactive demotion placement (§3.4). The
+// discriminator is a FIFO ring of fixed-capacity Bloom filters: lookups
+// return how many of the filters contain a key (the "re-access score"),
+// and the oldest filter is evicted when the newest fills up, bounding
+// memory.
+package bloom
+
+import "math"
+
+// Filter is a standard Bloom filter over int64 keys using double
+// hashing (Kirsch–Mitzenmacher) on a splitmix64-derived pair.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	k      int
+	count  int
+	budget int
+}
+
+// NewFilter sizes a filter for n expected insertions at the given
+// false-positive probability.
+func NewFilter(n int, fpp float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fpp <= 0 || fpp >= 1 {
+		fpp = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits:   make([]uint64, (m+63)/64),
+		nbits:  (m + 63) / 64 * 64,
+		k:      k,
+		budget: n,
+	}
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (f *Filter) hashes(key int64) (uint64, uint64) {
+	h1 := mix(uint64(key))
+	h2 := mix(h1) | 1 // odd increment to cover all positions
+	return h1, h2
+}
+
+// Insert adds key to the filter.
+func (f *Filter) Insert(key int64) {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether key may have been inserted. False positives
+// are possible; false negatives are not.
+func (f *Filter) Contains(key int64) bool {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of insertions so far.
+func (f *Filter) Count() int { return f.count }
+
+// Full reports whether the filter has used its insertion budget.
+func (f *Filter) Full() bool { return f.count >= f.budget }
+
+// Reset clears all bits and the insertion count.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}
+
+// Footprint returns the filter's memory use in bytes.
+func (f *Filter) Footprint() int64 { return int64(len(f.bits)) * 8 }
+
+// Cascade is the cascading discriminator: a FIFO ring of depth Bloom
+// filters. Insertions go to the newest filter; when it fills, the
+// oldest filter is recycled. Score(key) counts how many live filters
+// contain the key, approximating how many recent epochs re-accessed it.
+type Cascade struct {
+	filters []*Filter
+	head    int // index of the newest filter
+	live    int // how many filters have received any insertions
+}
+
+// NewCascade builds a discriminator of depth filters, each sized for
+// perFilter insertions at fpp.
+func NewCascade(depth, perFilter int, fpp float64) *Cascade {
+	if depth < 1 {
+		depth = 1
+	}
+	c := &Cascade{filters: make([]*Filter, depth)}
+	for i := range c.filters {
+		c.filters[i] = NewFilter(perFilter, fpp)
+	}
+	c.live = 1
+	return c
+}
+
+// Insert records key in the newest filter, rotating the ring when the
+// newest filter is full (the oldest epoch is forgotten).
+func (c *Cascade) Insert(key int64) {
+	f := c.filters[c.head]
+	if f.Full() {
+		c.head = (c.head + 1) % len(c.filters)
+		f = c.filters[c.head]
+		f.Reset()
+		if c.live < len(c.filters) {
+			c.live++
+		}
+	}
+	f.Insert(key)
+}
+
+// Score returns the number of filters that contain key (0..depth).
+func (c *Cascade) Score(key int64) int {
+	s := 0
+	for i := 0; i < c.live; i++ {
+		idx := (c.head - i + len(c.filters)) % len(c.filters)
+		if c.filters[idx].Contains(key) {
+			s++
+		}
+	}
+	return s
+}
+
+// Depth returns the number of filters in the cascade.
+func (c *Cascade) Depth() int { return len(c.filters) }
+
+// Footprint returns the cascade's memory use in bytes.
+func (c *Cascade) Footprint() int64 {
+	var n int64
+	for _, f := range c.filters {
+		n += f.Footprint()
+	}
+	return n
+}

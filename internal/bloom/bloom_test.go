@@ -1,0 +1,162 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adapt/internal/sim"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewFilter(1000, 0.01)
+	for i := int64(0); i < 1000; i++ {
+		f.Insert(i * 7919)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !f.Contains(i * 7919) {
+			t.Fatalf("false negative for key %d", i*7919)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := NewFilter(10000, 0.01)
+	for i := int64(0); i < 10000; i++ {
+		f.Insert(i)
+	}
+	fp := 0
+	const probes = 20000
+	for i := int64(0); i < probes; i++ {
+		if f.Contains(1_000_000 + i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f exceeds 3%% (target 1%%)", rate)
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	check := func(keys []int64) bool {
+		f := NewFilter(len(keys)+1, 0.01)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := NewFilter(10, 0.01)
+	f.Insert(1)
+	if f.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", f.Count())
+	}
+	f.Reset()
+	if f.Count() != 0 {
+		t.Fatalf("Count after reset = %d, want 0", f.Count())
+	}
+	if f.Contains(1) {
+		t.Fatal("filter still contains key after Reset")
+	}
+}
+
+func TestFullBudget(t *testing.T) {
+	f := NewFilter(3, 0.01)
+	for i := int64(0); i < 3; i++ {
+		if f.Full() {
+			t.Fatalf("filter full after %d insertions, budget 3", i)
+		}
+		f.Insert(i)
+	}
+	if !f.Full() {
+		t.Fatal("filter not full after budget insertions")
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	// Zero/negative n and out-of-range fpp must not panic.
+	f := NewFilter(0, -1)
+	f.Insert(5)
+	if !f.Contains(5) {
+		t.Fatal("degenerate filter lost a key")
+	}
+}
+
+func TestCascadeScoreCountsEpochs(t *testing.T) {
+	c := NewCascade(4, 2, 0.001)
+	// Insert key 42 into three consecutive epochs; fill each epoch.
+	for epoch := 0; epoch < 3; epoch++ {
+		c.Insert(42)
+		c.Insert(int64(1000 + epoch)) // filler to complete the epoch
+	}
+	if got := c.Score(42); got != 3 {
+		t.Fatalf("Score(42) = %d, want 3", got)
+	}
+	if got := c.Score(999999); got != 0 {
+		t.Fatalf("Score(unknown) = %d, want 0", got)
+	}
+}
+
+func TestCascadeFIFOEviction(t *testing.T) {
+	c := NewCascade(2, 1, 0.001)
+	c.Insert(1) // epoch 0
+	c.Insert(2) // epoch 1 (epoch 0 still live)
+	c.Insert(3) // epoch 0 recycled; key 1 forgotten
+	if c.Score(1) != 0 {
+		t.Fatalf("evicted key still scored: %d", c.Score(1))
+	}
+	if c.Score(3) != 1 {
+		t.Fatalf("Score(3) = %d, want 1", c.Score(3))
+	}
+}
+
+func TestCascadeScoreNeverExceedsDepth(t *testing.T) {
+	c := NewCascade(3, 4, 0.01)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 100; i++ {
+		c.Insert(rng.Int63n(8))
+	}
+	for k := int64(0); k < 8; k++ {
+		if s := c.Score(k); s < 0 || s > c.Depth() {
+			t.Fatalf("Score(%d) = %d out of range [0,%d]", k, s, c.Depth())
+		}
+	}
+}
+
+func TestFootprintPositive(t *testing.T) {
+	if NewFilter(100, 0.01).Footprint() <= 0 {
+		t.Fatal("filter footprint must be positive")
+	}
+	if NewCascade(4, 100, 0.01).Footprint() <= 0 {
+		t.Fatal("cascade footprint must be positive")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := NewFilter(1<<20, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(int64(i))
+	}
+}
+
+func BenchmarkCascadeScore(b *testing.B) {
+	c := NewCascade(4, 1<<16, 0.01)
+	for i := int64(0); i < 1<<16; i++ {
+		c.Insert(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Score(int64(i))
+	}
+}

@@ -1,0 +1,110 @@
+// Package distance implements a reuse-distance tracker — the "distance
+// tree" of ADAPT's threshold-adaptation module (§3.2). For each access
+// it reports how many *distinct* other keys were touched since the
+// previous access to the same key (∞ for first accesses), in O(log n)
+// amortized time using a Fenwick tree over access sequence slots.
+//
+// The classic construction: every key occupies exactly one slot, at its
+// most recent access position. On re-access, the number of occupied
+// slots strictly after the key's previous position is its reuse
+// distance; the old slot is vacated and the key re-inserted at the
+// current position. The slot array grows with the access count and is
+// compacted when it becomes sparse.
+package distance
+
+import (
+	"sort"
+
+	"adapt/internal/fenwick"
+)
+
+// Infinite is returned for the first access to a key.
+const Infinite = int64(-1)
+
+// Tracker computes reuse distances over a stream of keys.
+type Tracker struct {
+	tree    *fenwick.Tree
+	lastPos map[int64]int // key -> slot of most recent access
+	next    int           // next free slot
+	resizes int
+}
+
+// NewTracker returns an empty tracker. capacityHint sizes the initial
+// slot array (it grows as needed).
+func NewTracker(capacityHint int) *Tracker {
+	if capacityHint < 64 {
+		capacityHint = 64
+	}
+	return &Tracker{
+		tree:    fenwick.New(capacityHint),
+		lastPos: make(map[int64]int),
+	}
+}
+
+// Access records an access to key and returns the reuse distance: the
+// number of distinct keys accessed since the previous access to key, or
+// Infinite if key was never seen.
+func (t *Tracker) Access(key int64) int64 {
+	if t.next >= t.tree.Len() {
+		t.compact()
+	}
+	pos := t.next
+	t.next++
+	prev, seen := t.lastPos[key]
+	var d int64 = Infinite
+	if seen {
+		d = t.tree.SuffixSum(prev)
+		t.tree.Add(prev, -1)
+	}
+	t.tree.Add(pos, 1)
+	t.lastPos[key] = pos
+	return d
+}
+
+// Unique returns the number of distinct keys seen so far.
+func (t *Tracker) Unique() int { return len(t.lastPos) }
+
+// Forget removes key from the tracker; its next access will be treated
+// as a first access.
+func (t *Tracker) Forget(key int64) {
+	if pos, ok := t.lastPos[key]; ok {
+		t.tree.Add(pos, -1)
+		delete(t.lastPos, key)
+	}
+}
+
+// Footprint estimates the tracker's memory use in bytes.
+func (t *Tracker) Footprint() int64 {
+	// Fenwick: 8 bytes per slot; map: ~48 bytes per entry including
+	// bucket overhead (8B key + 8B value + hashing metadata).
+	return int64(t.tree.Len())*8 + int64(len(t.lastPos))*48
+}
+
+// compact rebuilds the slot array so that live keys occupy a dense
+// prefix in their current relative order, then doubles if still tight.
+func (t *Tracker) compact() {
+	live := len(t.lastPos)
+	size := t.tree.Len()
+	for size < 2*live+64 {
+		size *= 2
+	}
+	// Collect keys ordered by current slot.
+	type kv struct {
+		key int64
+		pos int
+	}
+	ordered := make([]kv, 0, live)
+	for k, p := range t.lastPos {
+		ordered = append(ordered, kv{k, p})
+	}
+	// Sort by position (insertion-order within the slot array).
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].pos < ordered[j].pos })
+	nt := fenwick.New(size)
+	for i, e := range ordered {
+		nt.Add(i, 1)
+		t.lastPos[e.key] = i
+	}
+	t.tree = nt
+	t.next = live
+	t.resizes++
+}

@@ -1,0 +1,139 @@
+package distance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adapt/internal/sim"
+)
+
+// naiveDistance is the O(n) reference: scan back through the access
+// history counting distinct keys since the previous occurrence.
+type naiveDistance struct {
+	history []int64
+}
+
+func (n *naiveDistance) access(key int64) int64 {
+	defer func() { n.history = append(n.history, key) }()
+	seen := make(map[int64]bool)
+	for i := len(n.history) - 1; i >= 0; i-- {
+		if n.history[i] == key {
+			return int64(len(seen))
+		}
+		seen[n.history[i]] = true
+	}
+	return Infinite
+}
+
+func TestFirstAccessInfinite(t *testing.T) {
+	tr := NewTracker(0)
+	if d := tr.Access(42); d != Infinite {
+		t.Fatalf("first access distance = %d, want Infinite", d)
+	}
+	if u := tr.Unique(); u != 1 {
+		t.Fatalf("Unique = %d, want 1", u)
+	}
+}
+
+func TestImmediateReuseIsZero(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Access(1)
+	if d := tr.Access(1); d != 0 {
+		t.Fatalf("immediate reuse distance = %d, want 0", d)
+	}
+}
+
+func TestKnownSequence(t *testing.T) {
+	// Sequence a b c a: distance of final a is 2 (b and c intervene).
+	tr := NewTracker(0)
+	tr.Access(1)
+	tr.Access(2)
+	tr.Access(3)
+	if d := tr.Access(1); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	// b was accessed before c and a-again: distance 2 (c, a).
+	if d := tr.Access(2); d != 2 {
+		t.Fatalf("distance for b = %d, want 2", d)
+	}
+}
+
+func TestRepeatedKeyDoesNotInflateDistance(t *testing.T) {
+	// a b b b a: only one distinct key (b) intervenes.
+	tr := NewTracker(0)
+	tr.Access(1)
+	tr.Access(2)
+	tr.Access(2)
+	tr.Access(2)
+	if d := tr.Access(1); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+}
+
+func TestForget(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Access(7)
+	tr.Forget(7)
+	if d := tr.Access(7); d != Infinite {
+		t.Fatalf("post-Forget distance = %d, want Infinite", d)
+	}
+	// Forgetting an unknown key must be a no-op.
+	tr.Forget(999)
+	if u := tr.Unique(); u != 1 {
+		t.Fatalf("Unique = %d, want 1", u)
+	}
+}
+
+func TestCompactionPreservesDistances(t *testing.T) {
+	// Force many compactions with a tiny initial capacity and verify
+	// against the naive reference throughout.
+	tr := NewTracker(1)
+	ref := &naiveDistance{}
+	rng := sim.NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		key := rng.Int63n(50)
+		got, want := tr.Access(key), ref.access(key)
+		if got != want {
+			t.Fatalf("access %d key %d: got %d, want %d", i, key, got, want)
+		}
+	}
+	if tr.resizes == 0 {
+		t.Fatal("expected at least one compaction in this test")
+	}
+}
+
+func TestQuickAgainstNaive(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tr := NewTracker(4)
+		ref := &naiveDistance{}
+		for _, k := range keys {
+			if tr.Access(int64(k)) != ref.access(int64(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintGrowsWithKeys(t *testing.T) {
+	tr := NewTracker(0)
+	before := tr.Footprint()
+	for i := int64(0); i < 1000; i++ {
+		tr.Access(i)
+	}
+	if after := tr.Footprint(); after <= before {
+		t.Fatalf("footprint did not grow: before=%d after=%d", before, after)
+	}
+}
+
+func BenchmarkAccessZipf(b *testing.B) {
+	tr := NewTracker(1 << 16)
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Access(rng.Int63n(1 << 16))
+	}
+}

@@ -1,0 +1,90 @@
+// Package fenwick implements a Fenwick (binary indexed) tree over
+// int64 counts. It is the order-statistic backbone of the reuse
+// distance tracker ("distance tree" in the paper, §3.2): insertions,
+// removals, and suffix counts in O(log n).
+package fenwick
+
+// Tree is a Fenwick tree over positions [0, n). The zero value is not
+// usable; construct with New.
+type Tree struct {
+	tree  []int64
+	n     int
+	total int64
+}
+
+// New returns a tree covering positions [0, n).
+func New(n int) *Tree {
+	if n < 0 {
+		panic("fenwick: negative size")
+	}
+	return &Tree{tree: make([]int64, n+1), n: n}
+}
+
+// Len returns the number of positions covered.
+func (t *Tree) Len() int { return t.n }
+
+// Total returns the sum over all positions.
+func (t *Tree) Total() int64 { return t.total }
+
+// Add adds delta at position i.
+func (t *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= t.n {
+		panic("fenwick: index out of range")
+	}
+	t.total += delta
+	for i++; i <= t.n; i += i & (-i) {
+		t.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the sum of positions [0, i]. PrefixSum(-1) is 0.
+func (t *Tree) PrefixSum(i int) int64 {
+	if i >= t.n {
+		i = t.n - 1
+	}
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += t.tree[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum over [lo, hi] inclusive.
+func (t *Tree) RangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return t.PrefixSum(hi) - t.PrefixSum(lo-1)
+}
+
+// SuffixSum returns the sum over positions (i, n), i.e. strictly after i.
+func (t *Tree) SuffixSum(i int) int64 {
+	return t.total - t.PrefixSum(i)
+}
+
+// FindKth returns the smallest position p such that PrefixSum(p) >= k,
+// for k in [1, Total()]. It returns -1 if no such position exists.
+// All stored values must be non-negative for this to be meaningful.
+func (t *Tree) FindKth(k int64) int {
+	if k <= 0 || k > t.total {
+		return -1
+	}
+	pos := 0
+	// Highest power of two <= n.
+	bit := 1
+	for bit<<1 <= t.n {
+		bit <<= 1
+	}
+	rem := k
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next <= t.n && t.tree[next] < rem {
+			rem -= t.tree[next]
+			pos = next
+		}
+	}
+	if pos >= t.n {
+		return -1
+	}
+	return pos // pos is 0-based: prefix through index pos reaches k
+}

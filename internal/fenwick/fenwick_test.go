@@ -1,0 +1,183 @@
+package fenwick
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adapt/internal/sim"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New(0)
+	if got := tr.PrefixSum(5); got != 0 {
+		t.Fatalf("PrefixSum on empty tree = %d, want 0", got)
+	}
+	if got := tr.Total(); got != 0 {
+		t.Fatalf("Total on empty tree = %d, want 0", got)
+	}
+	if got := tr.FindKth(1); got != -1 {
+		t.Fatalf("FindKth on empty tree = %d, want -1", got)
+	}
+}
+
+func TestBasicSums(t *testing.T) {
+	tr := New(10)
+	for i := 0; i < 10; i++ {
+		tr.Add(i, int64(i+1)) // values 1..10
+	}
+	if got := tr.Total(); got != 55 {
+		t.Fatalf("Total = %d, want 55", got)
+	}
+	if got := tr.PrefixSum(0); got != 1 {
+		t.Fatalf("PrefixSum(0) = %d, want 1", got)
+	}
+	if got := tr.PrefixSum(9); got != 55 {
+		t.Fatalf("PrefixSum(9) = %d, want 55", got)
+	}
+	if got := tr.PrefixSum(-1); got != 0 {
+		t.Fatalf("PrefixSum(-1) = %d, want 0", got)
+	}
+	if got := tr.RangeSum(3, 5); got != 4+5+6 {
+		t.Fatalf("RangeSum(3,5) = %d, want 15", got)
+	}
+	if got := tr.RangeSum(5, 3); got != 0 {
+		t.Fatalf("RangeSum(5,3) = %d, want 0", got)
+	}
+	if got := tr.SuffixSum(7); got != 9+10 {
+		t.Fatalf("SuffixSum(7) = %d, want 19", got)
+	}
+	if got := tr.SuffixSum(-1); got != 55 {
+		t.Fatalf("SuffixSum(-1) = %d, want 55", got)
+	}
+}
+
+func TestAddNegativeDelta(t *testing.T) {
+	tr := New(4)
+	tr.Add(2, 5)
+	tr.Add(2, -5)
+	if got := tr.Total(); got != 0 {
+		t.Fatalf("Total after add/remove = %d, want 0", got)
+	}
+	if got := tr.PrefixSum(3); got != 0 {
+		t.Fatalf("PrefixSum(3) = %d, want 0", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tr := New(4)
+	for _, idx := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", idx)
+				}
+			}()
+			tr.Add(idx, 1)
+		}()
+	}
+}
+
+func TestFindKth(t *testing.T) {
+	tr := New(8)
+	// Occupied positions: 1, 3, 6 (count 1 each).
+	for _, p := range []int{1, 3, 6} {
+		tr.Add(p, 1)
+	}
+	cases := []struct {
+		k    int64
+		want int
+	}{
+		{1, 1}, {2, 3}, {3, 6}, {4, -1}, {0, -1},
+	}
+	for _, c := range cases {
+		if got := tr.FindKth(c.k); got != c.want {
+			t.Errorf("FindKth(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+// naive is the reference implementation for the property test.
+type naive struct{ v []int64 }
+
+func (n *naive) add(i int, d int64) { n.v[i] += d }
+func (n *naive) prefix(i int) int64 {
+	var s int64
+	for j := 0; j <= i && j < len(n.v); j++ {
+		s += n.v[j]
+	}
+	return s
+}
+
+func TestQuickAgainstNaive(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		const n = 64
+		tr := New(n)
+		ref := &naive{v: make([]int64, n)}
+		rng := sim.NewRNG(seed)
+		for _, op := range ops {
+			i := int(op) % n
+			d := rng.Int63n(21) - 10
+			tr.Add(i, d)
+			ref.add(i, d)
+		}
+		for i := -1; i < n; i++ {
+			if tr.PrefixSum(i) != ref.prefix(i) {
+				return false
+			}
+		}
+		return tr.Total() == ref.prefix(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindKthQuick(t *testing.T) {
+	f := func(positions []uint16) bool {
+		const n = 128
+		tr := New(n)
+		present := make(map[int]bool)
+		for _, p := range positions {
+			i := int(p) % n
+			if !present[i] {
+				present[i] = true
+				tr.Add(i, 1)
+			}
+		}
+		// Sorted occupied positions must match FindKth(1..count).
+		var k int64
+		for i := 0; i < n; i++ {
+			if present[i] {
+				k++
+				if got := tr.FindKth(k); got != i {
+					return false
+				}
+			}
+		}
+		return tr.FindKth(k+1) == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	tr := New(1 << 20)
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Add(rng.Intn(1<<20), 1)
+	}
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	tr := New(1 << 20)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 1<<16; i++ {
+		tr.Add(rng.Intn(1<<20), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PrefixSum(rng.Intn(1 << 20))
+	}
+}

@@ -1,0 +1,167 @@
+package ftl
+
+import (
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+func devCfg(streams int) Config {
+	return Config{
+		UserPages:     8 << 10,
+		PagesPerBlock: 32,
+		OverProvision: 0.15,
+		Streams:       streams,
+	}
+}
+
+func TestWriteAndMap(t *testing.T) {
+	d := NewDevice(devCfg(1))
+	if err := d.Write(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics().HostPages != 1 {
+		t.Fatalf("HostPages = %d", d.Metrics().HostPages)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPageRejected(t *testing.T) {
+	d := NewDevice(devCfg(1))
+	if err := d.Write(-1, 0); err == nil {
+		t.Fatal("negative lpn accepted")
+	}
+	if err := d.Write(1<<40, 0); err == nil {
+		t.Fatal("oversized lpn accepted")
+	}
+}
+
+func TestStreamClamping(t *testing.T) {
+	d := NewDevice(devCfg(2))
+	// Out-of-range streams must clamp, not panic.
+	if err := d.Write(1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(2, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCRunsAndPreservesPages(t *testing.T) {
+	d := NewDevice(devCfg(1))
+	rng := sim.NewRNG(1)
+	for i := int64(0); i < 8<<10; i++ {
+		if err := d.Write(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6*8<<10; i++ {
+		if err := d.Write(rng.Int63n(8<<10), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := d.Metrics()
+	if m.Erases == 0 || m.MigratedPages == 0 {
+		t.Fatalf("device GC inactive: %+v", m)
+	}
+	if m.WA() <= 1 {
+		t.Fatalf("WA = %f", m.WA())
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialOverwriteCheapGC(t *testing.T) {
+	// Strictly sequential overwrites invalidate whole erase blocks:
+	// migrations should be almost zero.
+	d := NewDevice(devCfg(1))
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < 8<<10; i++ {
+			if err := d.Write(i, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := d.Metrics()
+	if frac := float64(m.MigratedPages) / float64(m.HostPages); frac > 0.02 {
+		t.Fatalf("sequential overwrite migrated %.2f%% of pages", 100*frac)
+	}
+}
+
+// TestMultiStreamReducesWA is the §3.1 claim: separating hot and cold
+// traffic into different streams lowers in-device WA versus mixing
+// them into one stream.
+func TestMultiStreamReducesWA(t *testing.T) {
+	run := func(streams int) float64 {
+		d := NewDevice(devCfg(streams))
+		rng := sim.NewRNG(9)
+		hotCut := int64(8<<10) / 5
+		// Fill.
+		for i := int64(0); i < 8<<10; i++ {
+			if err := d.Write(i, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// 90% of writes hit the hot fifth of the space; hot traffic is
+		// tagged to stream 1 when the device has streams.
+		for i := 0; i < 8*8<<10; i++ {
+			var lpn int64
+			stream := 0
+			if rng.Float64() < 0.9 {
+				lpn = rng.Int63n(hotCut)
+				if streams > 1 {
+					stream = 1
+				}
+			} else {
+				lpn = rng.Int63n(8 << 10)
+			}
+			if err := d.Write(lpn, stream); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Metrics().WA()
+	}
+	single := run(1)
+	multi := run(2)
+	if multi > single {
+		t.Fatalf("multi-stream WA %.3f worse than single %.3f", multi, single)
+	}
+}
+
+func TestWearImbalanceBounded(t *testing.T) {
+	d := NewDevice(devCfg(1))
+	rng := sim.NewRNG(2)
+	for i := int64(0); i < 8<<10; i++ {
+		d.Write(i, 0)
+	}
+	for i := 0; i < 10*8<<10; i++ {
+		d.Write(rng.Int63n(8<<10), 0)
+	}
+	if wi := d.WearImbalance(); wi > 20 {
+		t.Fatalf("wear imbalance %.1f implausibly high", wi)
+	}
+}
+
+func TestDegenerateConfigs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero UserPages accepted")
+		}
+	}()
+	NewDevice(Config{})
+}
+
+func BenchmarkDeviceWrite(b *testing.B) {
+	d := NewDevice(Config{UserPages: 1 << 18, PagesPerBlock: 128, OverProvision: 0.2})
+	rng := sim.NewRNG(1)
+	for i := int64(0); i < 1<<18; i++ {
+		d.Write(i, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(rng.Int63n(1<<18), 0)
+	}
+}

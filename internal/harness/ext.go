@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/stats"
+	"adapt/internal/trace"
+	"adapt/internal/workload"
+)
+
+// Extension experiments beyond the paper's figures: sensitivity of the
+// padding/WA trade-off to the array chunk size (the paper fixes 64 KiB,
+// the Linux mdraid default) and to the SLA coalescing window (the
+// paper fixes Pangu's 100 µs), plus victim-policy comparisons across
+// the related-work Greedy variants.
+
+// ExtCell is one cell of an extension sweep.
+type ExtCell struct {
+	Policy  string
+	Setting string
+	WA      float64 // padding-inclusive
+	GCWA    float64
+	PadRat  float64
+}
+
+func runExtCell(policy string, cfg lss.Config, tr *trace.Trace) (ExtCell, error) {
+	pol, err := BuildPolicy(policy, cfg)
+	if err != nil {
+		return ExtCell{}, err
+	}
+	store := lss.New(cfg, pol)
+	if err := trace.Replay(store, tr); err != nil {
+		return ExtCell{}, err
+	}
+	m := store.Metrics()
+	return ExtCell{
+		Policy: policy,
+		WA:     m.EffectiveWA(),
+		GCWA:   m.WA(),
+		PadRat: m.PaddingRatio(),
+	}, nil
+}
+
+// ExpChunkSize sweeps the array chunk size: larger chunks mean larger
+// error-correction units (paper §2.2) but more padding under sparse
+// writes — the granularity-mismatch trade-off that motivates ADAPT.
+func ExpChunkSize(sc Scale, policies []string) ([]ExtCell, error) {
+	tr := workload.Generate(workload.YCSBConfig{
+		Blocks:  sc.YCSBBlocks,
+		Writes:  sc.YCSBWrites,
+		Fill:    true,
+		Theta:   0.99,
+		MeanGap: 60 * sim.Microsecond,
+		Seed:    sc.Seed,
+	})
+	var out []ExtCell
+	for _, chunkKiB := range []int{16, 32, 64, 128} {
+		for _, pol := range policies {
+			cfg := StoreConfig(sc.YCSBBlocks, lss.Greedy)
+			// Hold the segment size in blocks constant while the chunk
+			// size varies, so only the coalescing granularity changes.
+			segBlocks := cfg.SegmentBlocks()
+			cfg.ChunkBlocks = chunkKiB * 1024 / cfg.BlockSize
+			cfg.SegmentChunks = segBlocks / cfg.ChunkBlocks
+			if cfg.SegmentChunks < 2 {
+				cfg.SegmentChunks = 2
+			}
+			cell, err := runExtCell(pol, cfg, tr)
+			if err != nil {
+				return nil, fmt.Errorf("chunk %dKiB %s: %w", chunkKiB, pol, err)
+			}
+			cell.Setting = fmt.Sprintf("chunk=%dKiB", chunkKiB)
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// ExpSLAWindow sweeps the coalescing deadline: longer windows gather
+// more blocks per chunk at the cost of write latency.
+func ExpSLAWindow(sc Scale, policies []string) ([]ExtCell, error) {
+	tr := workload.Generate(workload.YCSBConfig{
+		Blocks:  sc.YCSBBlocks,
+		Writes:  sc.YCSBWrites,
+		Fill:    true,
+		Theta:   0.99,
+		MeanGap: 60 * sim.Microsecond,
+		Seed:    sc.Seed,
+	})
+	var out []ExtCell
+	for _, winUS := range []int{20, 50, 100, 200, 500} {
+		for _, pol := range policies {
+			cfg := StoreConfig(sc.YCSBBlocks, lss.Greedy)
+			cfg.SLAWindow = sim.Time(winUS) * sim.Microsecond
+			cell, err := runExtCell(pol, cfg, tr)
+			if err != nil {
+				return nil, fmt.Errorf("sla %dus %s: %w", winUS, pol, err)
+			}
+			cell.Setting = fmt.Sprintf("sla=%dus", winUS)
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// ExpVictims compares all victim-selection policies under one
+// placement policy.
+func ExpVictims(sc Scale, policies []string) ([]ExtCell, error) {
+	tr := workload.Generate(workload.YCSBConfig{
+		Blocks:  sc.YCSBBlocks,
+		Writes:  sc.YCSBWrites,
+		Fill:    true,
+		Theta:   0.99,
+		MeanGap: 60 * sim.Microsecond,
+		Seed:    sc.Seed,
+	})
+	victims := []lss.VictimPolicy{
+		lss.Greedy, lss.CostBenefit, lss.DChoices, lss.WindowedGreedy, lss.RandomGreedy,
+	}
+	var out []ExtCell
+	for _, v := range victims {
+		for _, pol := range policies {
+			cfg := StoreConfig(sc.YCSBBlocks, v)
+			cell, err := runExtCell(pol, cfg, tr)
+			if err != nil {
+				return nil, fmt.Errorf("victim %s %s: %w", v, pol, err)
+			}
+			cell.Setting = v.String()
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// RenderExt prints an extension sweep table.
+func RenderExt(title string, cells []ExtCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	tb := stats.NewTable("setting", "policy", "WA", "gcWA", "pad ratio")
+	for _, c := range cells {
+		tb.AddRow(c.Setting, c.Policy, c.WA, c.GCWA, c.PadRat)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// LatencyCell is one row of the persistence-latency experiment.
+type LatencyCell struct {
+	Policy     string
+	MeanUS     float64
+	P99US      float64
+	Violations int64
+}
+
+// ExpLatency measures user-block persistence latency per policy on a
+// medium-density YCSB-A stream. The SLA window bounds every sample by
+// construction; the distribution below it shows how long writes sit in
+// open chunks: schemes that split user writes across more groups hold
+// blocks longer, and ADAPT's lazy-append hot chunks push hot blocks to
+// the deadline while shadow copies keep them durable.
+func ExpLatency(sc Scale, policies []string) ([]LatencyCell, error) {
+	tr := workload.Generate(workload.YCSBConfig{
+		Blocks:  sc.YCSBBlocks,
+		Writes:  sc.YCSBWrites,
+		Fill:    true,
+		Theta:   0.99,
+		MeanGap: 60 * sim.Microsecond,
+		Seed:    sc.Seed,
+	})
+	var out []LatencyCell
+	for _, pol := range policies {
+		cfg := StoreConfig(sc.YCSBBlocks, lss.Greedy)
+		p, err := BuildPolicy(pol, cfg)
+		if err != nil {
+			return nil, err
+		}
+		store := lss.New(cfg, p)
+		if err := trace.Replay(store, tr); err != nil {
+			return nil, fmt.Errorf("latency %s: %w", pol, err)
+		}
+		l := store.Metrics().Latency
+		out = append(out, LatencyCell{
+			Policy:     pol,
+			MeanUS:     float64(l.Mean()) / float64(sim.Microsecond),
+			P99US:      float64(l.Quantile(0.99)) / float64(sim.Microsecond),
+			Violations: l.Violations,
+		})
+	}
+	return out, nil
+}
+
+// RenderLatency prints the latency experiment table.
+func RenderLatency(cells []LatencyCell) string {
+	var b strings.Builder
+	b.WriteString("Extension — persistence latency under the 100 µs SLA (YCSB-A, medium density)\n")
+	tb := stats.NewTable("policy", "mean µs", "p99 µs", "violations")
+	for _, c := range cells {
+		tb.AddRow(c.Policy, c.MeanUS, c.P99US, c.Violations)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

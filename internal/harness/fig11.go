@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/stats"
+	"adapt/internal/workload"
+)
+
+// DensityLevel names the traffic intensities of Figure 11 (left).
+type DensityLevel struct {
+	Name    string
+	MeanGap sim.Time
+}
+
+// DensityLevels returns the paper's light/medium/heavy intensities:
+// light gaps exceed the 100 µs SLA window, heavy gaps are far below.
+func DensityLevels() []DensityLevel {
+	return []DensityLevel{
+		{"light", 300 * sim.Microsecond},
+		{"medium", 60 * sim.Microsecond},
+		// Heavy must be dense enough that even a 6-way group split
+		// fills 16-block chunks within the 100 µs window, which is
+		// what lets every scheme escape padding (§4.3).
+		{"heavy", 500 * sim.Nanosecond},
+	}
+}
+
+// Fig11Cell is one point of Figure 11: a policy's WA under one
+// workload setting.
+type Fig11Cell struct {
+	Policy  string
+	Setting string
+	WA      float64
+	PadRat  float64
+}
+
+// Fig11Result holds both sweeps.
+type Fig11Result struct {
+	Density []Fig11Cell // WA vs access density (YCSB-A, θ=0.99)
+	Skew    []Fig11Cell // WA vs zipfian α (medium density)
+}
+
+// Fig11 runs the sensitivity analysis: YCSB-A update-heavy workloads
+// with the Greedy victim policy, sweeping access density and zipfian
+// skew (§4.3).
+func Fig11(sc Scale, policies []string) (*Fig11Result, error) {
+	out := &Fig11Result{}
+	type job struct {
+		policy  string
+		setting string
+		gap     sim.Time
+		theta   float64
+		dest    *[]Fig11Cell
+	}
+	var jobs []job
+	for _, lvl := range DensityLevels() {
+		for _, pol := range policies {
+			jobs = append(jobs, job{pol, lvl.Name, lvl.MeanGap, 0.99, &out.Density})
+		}
+	}
+	for _, alpha := range []float64{0, 0.3, 0.6, 0.9, 0.99} {
+		for _, pol := range policies {
+			jobs = append(jobs, job{pol, fmt.Sprintf("a=%.2f", alpha), 60 * sim.Microsecond, alpha, &out.Skew})
+		}
+	}
+
+	results := make([]Fig11Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := workload.Generate(workload.YCSBConfig{
+				Blocks:  sc.YCSBBlocks,
+				Writes:  sc.YCSBWrites,
+				Fill:    true,
+				Theta:   j.theta,
+				MeanGap: j.gap,
+				Seed:    sc.Seed,
+			})
+			res, err := RunTrace(j.policy, tr, sc.YCSBBlocks, lss.Greedy)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = Fig11Cell{Policy: j.policy, Setting: j.setting, WA: res.EffectiveWA, PadRat: res.PaddingRatio}
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s/%s: %w", jobs[i].policy, jobs[i].setting, err)
+		}
+	}
+	for i, j := range jobs {
+		*j.dest = append(*j.dest, results[i])
+	}
+	return out, nil
+}
+
+// Render prints Figure 11 tables.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — sensitivity: WA vs access density (left) and skew (right)\n")
+	render := func(title string, cells []Fig11Cell) {
+		fmt.Fprintf(&b, "%s:\n", title)
+		tb := stats.NewTable("setting", "policy", "WA", "pad ratio")
+		for _, c := range cells {
+			tb.AddRow(c.Setting, c.Policy, c.WA, c.PadRat)
+		}
+		b.WriteString(tb.String())
+	}
+	render("access density (YCSB-A θ=0.99)", r.Density)
+	render("workload skewness (medium density)", r.Skew)
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"adapt/internal/stats"
+	"adapt/internal/trace"
+	"adapt/internal/workload"
+)
+
+// Fig2Result characterizes a workload suite: the cumulative
+// distributions of per-volume request rate (Figure 2a) and of write
+// request size (Figure 2b), plus the headline fractions the paper
+// quotes in Observation 1.
+type Fig2Result struct {
+	Profile workload.Profile
+
+	RateCDF      *stats.CDF // per-volume mean request rate (req/s)
+	WriteSizeCDF *stats.CDF // per-write request size (KiB)
+
+	FracVolumesUnder10 float64 // volumes below 10 req/s
+	FracVolumesOver100 float64 // volumes above 100 req/s
+	FracWritesLE8KiB   float64 // writes no larger than 8 KiB
+	FracWritesGT32KiB  float64 // writes above 32 KiB
+	Volumes            int
+	Writes             int
+}
+
+// Fig2 synthesizes each profile's suite and computes Figure 2's
+// distributions from the generated traces.
+func Fig2(sc Scale, profiles []workload.Profile) []Fig2Result {
+	out := make([]Fig2Result, 0, len(profiles))
+	for _, p := range profiles {
+		suite := sc.Suite(p)
+		var rates []float64
+		var sizes []float64
+		under10, over100 := 0, 0
+		le8, gt32 := 0, 0
+		for _, vol := range suite {
+			tr := vol.Generate()
+			st := tr.Analyze(vol.BlockSize)
+			rates = append(rates, st.ReqPerSec)
+			if st.ReqPerSec < 10 {
+				under10++
+			}
+			if st.ReqPerSec > 100 {
+				over100++
+			}
+			for _, r := range tr.Records {
+				if r.Op != trace.OpWrite {
+					continue
+				}
+				sizes = append(sizes, float64(r.Size)/1024)
+				if r.Size <= 8<<10 {
+					le8++
+				}
+				if r.Size > 32<<10 {
+					gt32++
+				}
+			}
+		}
+		res := Fig2Result{
+			Profile:      p,
+			RateCDF:      stats.NewCDF(rates),
+			WriteSizeCDF: stats.NewCDF(sizes),
+			Volumes:      len(suite),
+			Writes:       len(sizes),
+		}
+		if len(suite) > 0 {
+			res.FracVolumesUnder10 = float64(under10) / float64(len(suite))
+			res.FracVolumesOver100 = float64(over100) / float64(len(suite))
+		}
+		if len(sizes) > 0 {
+			res.FracWritesLE8KiB = float64(le8) / float64(len(sizes))
+			res.FracWritesGT32KiB = float64(gt32) / float64(len(sizes))
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Render prints the Figure 2 summary table and CDF series.
+func (r Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — workload characterization: %s (%d volumes, %d writes)\n",
+		r.Profile, r.Volumes, r.Writes)
+	fmt.Fprintf(&b, "  volumes < 10 req/s: %.1f%%   volumes > 100 req/s: %.1f%%\n",
+		100*r.FracVolumesUnder10, 100*r.FracVolumesOver100)
+	fmt.Fprintf(&b, "  writes ≤ 8 KiB: %.1f%%   writes > 32 KiB: %.1f%%\n",
+		100*r.FracWritesLE8KiB, 100*r.FracWritesGT32KiB)
+	tb := stats.NewTable("percentile", "req/s", "write KiB")
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		tb.AddRow(fmt.Sprintf("p%.0f", q*100), r.RateCDF.Quantile(q), r.WriteSizeCDF.Quantile(q))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adapt/internal/lss"
+	"adapt/internal/workload"
+)
+
+// Grid holds the full experiment grid behind Figures 8–10: every
+// (suite, victim policy, placement policy, volume) run.
+type Grid struct {
+	Scale    Scale
+	Profiles []workload.Profile
+	Victims  []lss.VictimPolicy
+	Policies []string
+	// Runs[profile][victim][policy] is one RunResult per volume.
+	Runs map[workload.Profile]map[lss.VictimPolicy]map[string][]RunResult
+}
+
+// RunGrid executes the grid, parallelizing across independent runs.
+func RunGrid(sc Scale, profiles []workload.Profile, victims []lss.VictimPolicy, policies []string) (*Grid, error) {
+	g := &Grid{
+		Scale:    sc,
+		Profiles: profiles,
+		Victims:  victims,
+		Policies: policies,
+		Runs:     make(map[workload.Profile]map[lss.VictimPolicy]map[string][]RunResult),
+	}
+	for _, p := range profiles {
+		g.Runs[p] = make(map[lss.VictimPolicy]map[string][]RunResult)
+		for _, v := range victims {
+			g.Runs[p][v] = make(map[string][]RunResult)
+			for _, pol := range policies {
+				g.Runs[p][v][pol] = make([]RunResult, sc.Volumes)
+			}
+		}
+	}
+
+	type job struct {
+		profile workload.Profile
+		victim  lss.VictimPolicy
+		policy  string
+		volIdx  int
+		vol     workload.Volume
+	}
+	var jobs []job
+	for _, p := range profiles {
+		suite := sc.Suite(p)
+		for i, vol := range suite {
+			for _, v := range victims {
+				for _, pol := range policies {
+					jobs = append(jobs, job{p, v, pol, i, vol})
+				}
+			}
+		}
+	}
+
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobCh := make(chan job)
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				tr := j.vol.Generate()
+				res, err := RunTrace(j.policy, tr, j.vol.FootprintBlocks, j.victim)
+				if err != nil {
+					errCh <- fmt.Errorf("%s/%s/%s vol %d: %w",
+						j.profile, j.victim, j.policy, j.volIdx, err)
+					continue
+				}
+				mu.Lock()
+				g.Runs[j.profile][j.victim][j.policy][j.volIdx] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	return g, nil
+}
+
+// OverallWA aggregates a policy's write amplification across a suite
+// as total array block traffic (user + GC rewrites + shadow copies +
+// zero padding) over total user traffic — the paper's "overall WA"
+// bar. Padding is included because the array writes it like any other
+// data; §1 calls this the "actual write amplification ratio", and
+// Figure 10's padding↔WA correlation only exists under this
+// definition.
+func (g *Grid) OverallWA(p workload.Profile, v lss.VictimPolicy, policy string) float64 {
+	var user, total int64
+	for _, r := range g.Runs[p][v][policy] {
+		user += r.UserBlocks
+		total += r.UserBlocks + r.GCBlocks + r.ShadowBlocks + r.PaddingBlocks
+	}
+	if user == 0 {
+		return 1
+	}
+	return float64(total) / float64(user)
+}
+
+// OverallGCWA aggregates the GC-only write amplification
+// ((user+GC)/user), the secondary metric that isolates garbage
+// collection efficiency from padding.
+func (g *Grid) OverallGCWA(p workload.Profile, v lss.VictimPolicy, policy string) float64 {
+	var user, gc int64
+	for _, r := range g.Runs[p][v][policy] {
+		user += r.UserBlocks
+		gc += r.GCBlocks
+	}
+	if user == 0 {
+		return 1
+	}
+	return float64(user+gc) / float64(user)
+}
+
+// VolumeWAs returns the per-volume padding-inclusive WA distribution
+// (the boxplots of Figure 8).
+func (g *Grid) VolumeWAs(p workload.Profile, v lss.VictimPolicy, policy string) []float64 {
+	runs := g.Runs[p][v][policy]
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r.EffectiveWA
+	}
+	return out
+}
+
+// VolumePaddingRatios returns per-volume padding traffic ratios (the
+// CDFs of Figure 9).
+func (g *Grid) VolumePaddingRatios(p workload.Profile, v lss.VictimPolicy, policy string) []float64 {
+	runs := g.Runs[p][v][policy]
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r.PaddingRatio
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package lss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adapt/internal/sim"
+)
+
+// scriptedAdvisor lets tests drive the timeout arbitration directly.
+type scriptedAdvisor struct {
+	twoGroup
+	action TimeoutAction
+	calls  int
+}
+
+func (a *scriptedAdvisor) OnChunkTimeout(GroupID, sim.Time, []GroupSnapshot) TimeoutAction {
+	a.calls++
+	return a.action
+}
+
+// threeGroup places user writes alternately into groups 0 and 1, GC
+// into group 2 — lets tests create pending data in two user groups.
+type threeGroup struct{ flip bool }
+
+func (*threeGroup) Name() string { return "test-threegroup" }
+func (*threeGroup) Groups() int  { return 3 }
+func (p *threeGroup) PlaceUser(lba int64, _ sim.Time, _ sim.WriteClock) GroupID {
+	if lba%2 == 0 {
+		return 0
+	}
+	return 1
+}
+func (*threeGroup) PlaceGC(int64, GroupID, sim.WriteClock, sim.WriteClock, sim.WriteClock) GroupID {
+	return 2
+}
+
+type scriptedAdvisor3 struct {
+	threeGroup
+	action func(g GroupID) TimeoutAction
+}
+
+func (a *scriptedAdvisor3) OnChunkTimeout(g GroupID, _ sim.Time, _ []GroupSnapshot) TimeoutAction {
+	return a.action(g)
+}
+
+func TestAdvisorPadOwnMatchesDefault(t *testing.T) {
+	adv := &scriptedAdvisor{action: TimeoutAction{Kind: PadOwn}}
+	s := New(smallConfig(), adv)
+	s.WriteBlock(1, 0)
+	s.WriteBlock(2, sim.Millisecond) // past SLA: timeout fires
+	if adv.calls == 0 {
+		t.Fatal("advisor never consulted")
+	}
+	if got := s.Metrics().PaddingBlocks; got != 3 {
+		t.Fatalf("PaddingBlocks = %d, want 3 (one block padded to 4)", got)
+	}
+}
+
+func TestAdvisorShadowInto(t *testing.T) {
+	adv := &scriptedAdvisor3{}
+	adv.action = func(g GroupID) TimeoutAction {
+		if g == 0 {
+			return TimeoutAction{Kind: ShadowInto, Target: 1}
+		}
+		return TimeoutAction{Kind: PadOwn}
+	}
+	s := New(smallConfig(), adv)
+	// One block in group 0 (lba 0), one in group 1 (lba 1).
+	s.WriteBlock(0, 0)
+	s.WriteBlock(1, 0)
+	// Trigger group 0's timeout; its block shadows into group 1, whose
+	// chunk is then flushed with 2 real blocks + 2 padding.
+	s.WriteBlock(2, sim.Millisecond)
+	m := s.Metrics()
+	if m.ShadowBlocks != 1 {
+		t.Fatalf("ShadowBlocks = %d, want 1", m.ShadowBlocks)
+	}
+	if m.PerGroup[1].ShadowBlocks != 1 {
+		t.Fatalf("shadow block not in target group: %+v", m.PerGroup)
+	}
+	// Group 1's chunk flushed with padding 4-(1 own +1 shadow) = 2.
+	if m.PerGroup[1].PaddingBlocks != 2 {
+		t.Fatalf("target padding = %d, want 2", m.PerGroup[1].PaddingBlocks)
+	}
+	// Group 0's chunk must still be open (lazy append), no padding.
+	if m.PerGroup[0].PaddingBlocks != 0 {
+		t.Fatalf("source group padded: %d", m.PerGroup[0].PaddingBlocks)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvisorShadowedBlocksDoNotRetimeout(t *testing.T) {
+	adv := &scriptedAdvisor3{}
+	shadows := 0
+	adv.action = func(g GroupID) TimeoutAction {
+		if g == 0 {
+			shadows++
+			return TimeoutAction{Kind: ShadowInto, Target: 1}
+		}
+		return TimeoutAction{Kind: PadOwn}
+	}
+	s := New(smallConfig(), adv)
+	s.WriteBlock(0, 0)
+	s.WriteBlock(1, 0)
+	s.WriteBlock(2, sim.Millisecond)   // group-0 timeout → shadow (lba 0)
+	s.WriteBlock(4, 2*sim.Millisecond) // another group-0 write... triggers re-arm
+	s.WriteBlock(6, 3*sim.Millisecond) // timeout again: only lba 2,4 unpersisted
+	m := s.Metrics()
+	// lba 0 must have been shadowed exactly once.
+	if m.ShadowBlocks > 3 {
+		t.Fatalf("persisted blocks re-shadowed: %d shadow blocks", m.ShadowBlocks)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvisorDonorFill(t *testing.T) {
+	adv := &scriptedAdvisor3{}
+	adv.action = func(g GroupID) TimeoutAction {
+		if g == 1 {
+			return TimeoutAction{Kind: PadOwn, Donors: []GroupID{0}}
+		}
+		return TimeoutAction{Kind: ShadowInto, Target: 1}
+	}
+	s := New(smallConfig(), adv)
+	// Group 1 gets one block; group 0 gets one block. Make group 1 time
+	// out first by writing its block earlier.
+	s.WriteBlock(1, 0)                   // group 1
+	s.WriteBlock(0, 50*sim.Microsecond)  // group 0
+	s.WriteBlock(3, 150*sim.Microsecond) // group 1 timeout → donor fill from 0
+	m := s.Metrics()
+	if m.PerGroup[1].ShadowBlocks != 1 {
+		t.Fatalf("donor block missing from group 1: %+v", m.PerGroup[1])
+	}
+	// Chunk: 1 own + 1 donor + 2 pad.
+	if m.PerGroup[1].PaddingBlocks != 2 {
+		t.Fatalf("padding = %d, want 2", m.PerGroup[1].PaddingBlocks)
+	}
+	// Donor's own chunk stays open, unpadded.
+	if m.PerGroup[0].PaddingBlocks != 0 {
+		t.Fatalf("donor group padded: %d", m.PerGroup[0].PaddingBlocks)
+	}
+}
+
+func TestAdvisorInvalidTargetFallsBack(t *testing.T) {
+	adv := &scriptedAdvisor{action: TimeoutAction{Kind: ShadowInto, Target: 99}}
+	s := New(smallConfig(), adv)
+	s.WriteBlock(1, 0)
+	s.WriteBlock(2, sim.Millisecond)
+	// Invalid target must degrade to padding, not panic or stall.
+	if got := s.Metrics().PaddingBlocks; got == 0 {
+		t.Fatal("invalid shadow target did not fall back to padding")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	s.Write(0, 8, 0)
+	if err := s.Trim(2, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LiveBlocks(); got != 4 {
+		t.Fatalf("LiveBlocks after trim = %d, want 4", got)
+	}
+	if got := s.Metrics().TrimmedBlocks; got != 4 {
+		t.Fatalf("TrimmedBlocks = %d, want 4", got)
+	}
+	// Double trim is a no-op.
+	if err := s.Trim(2, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().TrimmedBlocks; got != 4 {
+		t.Fatalf("double trim counted: %d", got)
+	}
+	if err := s.Trim(-1, 2, 0); err == nil {
+		t.Fatal("negative trim accepted")
+	}
+	if err := s.Trim(0, 1<<30, 0); err == nil {
+		t.Fatal("oversized trim accepted")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomOpsInvariants is a property test: any interleaving of
+// writes, trims, reads, and time advances preserves store invariants
+// and never loses live data.
+func TestRandomOpsInvariants(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		cfg := smallConfig()
+		s := New(cfg, twoGroup{})
+		rng := sim.NewRNG(seed)
+		live := make(map[int64]bool)
+		now := sim.Time(0)
+		ops := int(opsRaw)%3000 + 500
+		for i := 0; i < ops; i++ {
+			now += sim.Time(rng.Int63n(250)) * sim.Microsecond
+			lba := rng.Int63n(cfg.UserBlocks)
+			switch rng.Intn(10) {
+			case 0:
+				n := int(rng.Int63n(4)) + 1
+				if lba+int64(n) > cfg.UserBlocks {
+					n = 1
+				}
+				if err := s.Trim(lba, n, now); err != nil {
+					return false
+				}
+				for j := 0; j < n; j++ {
+					delete(live, lba+int64(j))
+				}
+			case 1:
+				s.Read(lba, 1, now)
+			default:
+				if err := s.WriteBlock(lba, now); err != nil {
+					return false
+				}
+				live[lba] = true
+			}
+		}
+		s.Drain(now + sim.Second)
+		if s.LiveBlocks() != int64(len(live)) {
+			return false
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

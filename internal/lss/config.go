@@ -1,0 +1,148 @@
+// Package lss implements the log-structured store deployed on an SSD
+// array (paper §2.1–2.2): fixed-size segments divided into array
+// chunks, per-group open segments with SLA-bounded chunk coalescing and
+// zero padding, garbage collection with pluggable victim selection, and
+// pluggable data-placement policies. It is the substrate every
+// placement scheme in the evaluation runs on.
+package lss
+
+import (
+	"fmt"
+
+	"adapt/internal/sim"
+)
+
+// GroupID identifies a segment group (a stream in multi-stream terms).
+type GroupID int
+
+// NoGroup is returned by advisory interfaces to decline a placement.
+const NoGroup GroupID = -1
+
+// VictimPolicy selects GC victim segments.
+type VictimPolicy int
+
+// Victim selection policies from the paper's evaluation (§4.2) plus
+// the Greedy variants discussed in related work (§5): d-choices [22],
+// Windowed Greedy [8], and Random Greedy [15].
+const (
+	Greedy VictimPolicy = iota
+	CostBenefit
+	DChoices
+	WindowedGreedy
+	RandomGreedy
+)
+
+// String returns the policy name.
+func (v VictimPolicy) String() string {
+	switch v {
+	case Greedy:
+		return "greedy"
+	case CostBenefit:
+		return "cost-benefit"
+	case DChoices:
+		return "d-choices"
+	case WindowedGreedy:
+		return "windowed-greedy"
+	case RandomGreedy:
+		return "random-greedy"
+	default:
+		return fmt.Sprintf("victim(%d)", int(v))
+	}
+}
+
+// Config describes the store geometry and policies. Zero fields take
+// the defaults from the paper's experimental setup (§4.1): 4 KiB
+// blocks, 64 KiB chunks, 100 µs coalescing window, RAID-5 over 4 SSDs.
+type Config struct {
+	// BlockSize is the user request granularity in bytes.
+	BlockSize int
+	// ChunkBlocks is the array chunk size in blocks (the array's
+	// minimum write unit).
+	ChunkBlocks int
+	// SegmentChunks is the segment size in chunks.
+	SegmentChunks int
+	// DataColumns is the number of data columns per RAID stripe.
+	DataColumns int
+	// UserBlocks is the user-visible LBA space in blocks.
+	UserBlocks int64
+	// OverProvision is the extra physical capacity fraction (0.15 means
+	// physical = 1.15 × user capacity).
+	OverProvision float64
+	// SLAWindow is the maximum time a user block may wait in an
+	// unfilled chunk before the chunk is padded and flushed.
+	SLAWindow sim.Time
+	// Victim selects the GC victim policy.
+	Victim VictimPolicy
+	// DChoicesD is the sample size when Victim == DChoices.
+	DChoicesD int
+	// GreedyWindow is the candidate window (in segments, oldest first)
+	// when Victim == WindowedGreedy. Zero means 1/8 of capacity.
+	GreedyWindow int
+	// GCLowWater triggers GC when free segments drop to or below it;
+	// GCHighWater is where a GC cycle stops. Zero means derived
+	// defaults.
+	GCLowWater, GCHighWater int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults and
+// validates the geometry.
+func (cfg Config) withDefaults(groups int) Config {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.ChunkBlocks == 0 {
+		cfg.ChunkBlocks = 16 // 64 KiB chunks of 4 KiB blocks
+	}
+	if cfg.SegmentChunks == 0 {
+		cfg.SegmentChunks = 32 // 2 MiB segments
+	}
+	if cfg.DataColumns == 0 {
+		cfg.DataColumns = 3 // 4-SSD RAID-5
+	}
+	if cfg.UserBlocks == 0 {
+		cfg.UserBlocks = 64 << 10
+	}
+	if cfg.OverProvision == 0 {
+		cfg.OverProvision = 0.15
+	}
+	if cfg.SLAWindow == 0 {
+		cfg.SLAWindow = 100 * sim.Microsecond
+	}
+	if cfg.DChoicesD == 0 {
+		cfg.DChoicesD = 8
+	}
+	if cfg.GCLowWater == 0 {
+		cfg.GCLowWater = groups + 2
+	}
+	if cfg.GCHighWater <= cfg.GCLowWater {
+		cfg.GCHighWater = cfg.GCLowWater + 4
+	}
+	if cfg.BlockSize <= 0 || cfg.ChunkBlocks <= 0 || cfg.SegmentChunks <= 0 {
+		panic("lss: non-positive geometry")
+	}
+	if cfg.UserBlocks <= 0 {
+		panic("lss: non-positive user capacity")
+	}
+	if cfg.OverProvision < 0.02 {
+		panic("lss: over-provisioning below 2% cannot sustain GC")
+	}
+	return cfg
+}
+
+// SegmentBlocks returns blocks per segment.
+func (cfg Config) SegmentBlocks() int { return cfg.ChunkBlocks * cfg.SegmentChunks }
+
+// ChunkBytes returns the chunk size in bytes.
+func (cfg Config) ChunkBytes() int64 { return int64(cfg.BlockSize) * int64(cfg.ChunkBlocks) }
+
+// totalSegments derives the physical segment count: enough segments
+// to hold the user capacity plus the over-provisioning spare, with the
+// per-group open segments and the GC watermark reserve added on top so
+// that the effective spare is scale-independent (at paper scale the
+// reserve is negligible; at test scale it would otherwise swallow the
+// spare and inflate WA for many-group policies).
+func (cfg Config) totalSegments(groups int) int {
+	physBlocks := float64(cfg.UserBlocks) * (1 + cfg.OverProvision)
+	n := int(physBlocks)/cfg.SegmentBlocks() + 1
+	return n + groups + cfg.GCHighWater + 2
+}

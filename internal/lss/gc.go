@@ -1,0 +1,276 @@
+package lss
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// runGC reclaims sealed segments until the free pool reaches the high
+// watermark. Victims are chosen by the configured policy; each
+// victim's valid blocks are re-placed through Policy.PlaceGC before
+// the segment returns to the free pool.
+func (s *Store) runGC() {
+	s.inGC = true
+	defer func() { s.inGC = false }()
+	s.metrics.GCCycles++
+	// Safety valve against livelock when every victim is nearly full
+	// (possible under random/windowed selection): after this many
+	// reclaims the cycle gives up and the caller may panic on true
+	// exhaustion.
+	budget := 8 * len(s.segments)
+	for len(s.free) < s.cfg.GCHighWater {
+		before := len(s.free)
+		want := s.cfg.GCHighWater - len(s.free)
+		victims := s.selectVictims(want)
+		if len(victims) == 0 {
+			return // nothing reclaimable; caller may panic on exhaustion
+		}
+		for _, v := range victims {
+			if v.state != segSealed {
+				continue // already reclaimed (duplicate in a sampled batch)
+			}
+			s.reclaim(v)
+			budget--
+			if len(s.free) >= s.cfg.GCHighWater {
+				return
+			}
+		}
+		if budget <= 0 {
+			return
+		}
+		if len(s.free) <= before && len(s.free) > s.cfg.GCLowWater {
+			// No net progress this batch (valid blocks merely moved)
+			// but the cushion is still healthy: stop churning; GC
+			// re-triggers at the next low-water allocation. Below the
+			// cushion we keep compacting — fractional garbage
+			// consolidates across batches and eventually frees whole
+			// segments.
+			return
+		}
+	}
+}
+
+// selectVictims scans sealed segments once and returns up to n victims
+// ordered best-first according to the victim policy. Segments with no
+// garbage are never selected (reclaiming them cannot make progress).
+func (s *Store) selectVictims(n int) []*segment {
+	type scored struct {
+		seg   *segment
+		score float64
+	}
+	var cands []scored
+	consider := func(seg *segment) {
+		if seg.state != segSealed || seg.valid >= seg.written {
+			return
+		}
+		cands = append(cands, scored{seg, s.victimScore(seg)})
+	}
+	switch s.cfg.Victim {
+	case DChoices:
+		// Sample d random sealed segments per needed victim.
+		tries := s.cfg.DChoicesD * n * 2
+		for i := 0; i < tries && len(cands) < s.cfg.DChoicesD*n; i++ {
+			seg := s.segments[s.rng.Intn(len(s.segments))]
+			consider(seg)
+		}
+		if len(cands) == 0 {
+			// Degenerate sample; fall back to a full scan.
+			for _, seg := range s.segments {
+				consider(seg)
+			}
+		}
+	case RandomGreedy:
+		// Random Greedy [Li et al., SIGMETRICS'13]: pick uniformly at
+		// random among reclaimable sealed segments.
+		for i := 0; i < 4*len(s.segments) && len(cands) < n; i++ {
+			seg := s.segments[s.rng.Intn(len(s.segments))]
+			consider(seg)
+		}
+		if len(cands) == 0 {
+			for _, seg := range s.segments {
+				consider(seg)
+			}
+		}
+	case WindowedGreedy:
+		// Windowed Greedy [Hu et al., SYSTOR'09]: greedy restricted to
+		// the W oldest sealed segments (by seal clock).
+		w := s.cfg.GreedyWindow
+		if w <= 0 {
+			w = len(s.segments) / 8
+		}
+		if w < n {
+			w = n
+		}
+		var sealed []*segment
+		for _, seg := range s.segments {
+			if seg.state == segSealed {
+				sealed = append(sealed, seg)
+			}
+		}
+		sort.Slice(sealed, func(i, j int) bool { return sealed[i].sealedW < sealed[j].sealedW })
+		if w > len(sealed) {
+			w = len(sealed)
+		}
+		for _, seg := range sealed[:w] {
+			consider(seg)
+		}
+		if len(cands) == 0 {
+			// The oldest window can be entirely full-valid (compacted
+			// cold segments); widen to a full scan rather than stall.
+			for _, seg := range s.segments {
+				consider(seg)
+			}
+		}
+	default:
+		for _, seg := range s.segments {
+			consider(seg)
+		}
+	}
+	s.metrics.GCScannedBlocks += int64(len(cands))
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]*segment, n)
+	for i := range out {
+		out[i] = cands[i].seg
+	}
+	return out
+}
+
+// victimScore returns a higher-is-better score for victim selection.
+func (s *Store) victimScore(seg *segment) float64 {
+	u := float64(seg.valid) / float64(s.segBlocks)
+	switch s.cfg.Victim {
+	case RandomGreedy:
+		// Pure random choice among reclaimable segments: a random
+		// score makes the candidate ordering uniform.
+		return s.rng.Float64()
+	case CostBenefit:
+		// Rosenblum & Ousterhout cost-benefit: age × (1−u) / 2u.
+		age := float64(s.w - seg.sealedW)
+		if u == 0 {
+			return math.Inf(1)
+		}
+		return age * (1 - u) / (2 * u)
+	default: // Greedy and DChoices maximize garbage.
+		return 1 - u
+	}
+}
+
+// reclaim migrates a victim's valid blocks and frees the segment.
+func (s *Store) reclaim(seg *segment) {
+	if seg.state != segSealed {
+		panic(fmt.Sprintf("lss: reclaiming segment %d in state %d", seg.id, seg.state))
+	}
+	base := int64(seg.id) * int64(s.segBlocks)
+	migrated := 0
+	for slot := 0; slot < seg.written; slot++ {
+		// Shadow slots are decoded too: after crash recovery the
+		// mapping may legitimately point at a shadow copy, which must
+		// be migrated like any live block.
+		lba, ok := decodeSlot(seg.lbas[slot])
+		if !ok {
+			continue // padding
+		}
+		if s.mapping[lba] != base+int64(slot) {
+			continue // overwritten since (or an expired shadow copy): garbage
+		}
+		target := s.policy.PlaceGC(lba, seg.group, seg.born, seg.sealedW, s.w)
+		if int(target) < 0 || int(target) >= len(s.groups) {
+			panic(fmt.Sprintf("lss: policy %s migrated block to unknown group %d", s.policy.Name(), target))
+		}
+		s.metrics.GCBlocks++
+		s.appendBlock(target, lba, kindGC)
+		migrated++
+	}
+	if seg.valid != 0 {
+		panic(fmt.Sprintf("lss: segment %d has %d valid blocks after migration", seg.id, seg.valid))
+	}
+	if s.segObs != nil {
+		s.segObs.OnSegmentReclaimed(seg.group, seg.born, seg.sealedW, s.w, migrated, seg.written)
+	}
+	seg.state = segFree
+	s.free = append(s.free, seg.id)
+	s.metrics.SegmentsReclaimed++
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// stress runs. It is O(capacity).
+func (s *Store) CheckInvariants() error {
+	// Every mapped LBA must point at a matching slot in a non-free
+	// segment, and per-segment valid counts must agree with a recount.
+	recount := make([]int, len(s.segments))
+	var mapped int64
+	for lba, loc := range s.mapping {
+		if loc < 0 {
+			continue
+		}
+		mapped++
+		segID := int(loc / int64(s.segBlocks))
+		slot := int(loc % int64(s.segBlocks))
+		if segID < 0 || segID >= len(s.segments) {
+			return fmt.Errorf("lba %d maps to bad segment %d", lba, segID)
+		}
+		seg := s.segments[segID]
+		if seg.state == segFree {
+			return fmt.Errorf("lba %d maps into free segment %d", lba, segID)
+		}
+		if slot >= seg.written {
+			return fmt.Errorf("lba %d maps to unwritten slot %d of segment %d", lba, slot, segID)
+		}
+		if got, ok := decodeSlot(seg.lbas[slot]); !ok || got != int64(lba) {
+			return fmt.Errorf("lba %d maps to slot holding %d", lba, seg.lbas[slot])
+		}
+		recount[segID]++
+	}
+	var totalValid int64
+	for i, seg := range s.segments {
+		if seg.state == segFree {
+			continue
+		}
+		if seg.valid != recount[i] {
+			return fmt.Errorf("segment %d valid=%d, recount=%d", i, seg.valid, recount[i])
+		}
+		totalValid += int64(seg.valid)
+		if seg.written > s.segBlocks {
+			return fmt.Errorf("segment %d overfilled: %d slots", i, seg.written)
+		}
+		if seg.state == segSealed && seg.written != s.segBlocks {
+			return fmt.Errorf("segment %d sealed at %d/%d slots", i, seg.written, s.segBlocks)
+		}
+	}
+	if totalValid != mapped {
+		return fmt.Errorf("valid-block total %d != mapped LBAs %d", totalValid, mapped)
+	}
+	// Free pool entries must be unique and marked free.
+	seen := make(map[int]bool, len(s.free))
+	for _, id := range s.free {
+		if seen[id] {
+			return fmt.Errorf("segment %d appears twice in free pool", id)
+		}
+		seen[id] = true
+		if s.segments[id].state != segFree {
+			return fmt.Errorf("segment %d in free pool but state %d", id, s.segments[id].state)
+		}
+	}
+	// Group metric sums must match global counters.
+	var u, g, sh, pad int64
+	for _, gm := range s.metrics.PerGroup {
+		u += gm.UserBlocks
+		g += gm.GCBlocks
+		sh += gm.ShadowBlocks
+		pad += gm.PaddingBlocks
+	}
+	if u != s.metrics.UserBlocks || g != s.metrics.GCBlocks ||
+		sh != s.metrics.ShadowBlocks || pad != s.metrics.PaddingBlocks {
+		return fmt.Errorf("per-group sums (%d,%d,%d,%d) disagree with totals (%d,%d,%d,%d)",
+			u, g, sh, pad,
+			s.metrics.UserBlocks, s.metrics.GCBlocks, s.metrics.ShadowBlocks, s.metrics.PaddingBlocks)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package lss
+
+import (
+	"fmt"
+	"math"
+
+	"adapt/internal/sim"
+)
+
+// LatencyStats tracks user-block persistence latency: the time between
+// a block's arrival and the moment its data is durable on the array
+// (its chunk flushes, or a shadow copy persists it). The SLA window is
+// an upper bound by construction; the distribution below it shows how
+// long writes actually sit in open chunks under each policy.
+type LatencyStats struct {
+	Count      int64
+	Sum        sim.Time
+	Max        sim.Time
+	Violations int64 // latency beyond the SLA window (Drain leftovers)
+	// Buckets[i] counts latencies in [2^(i-1), 2^i) microseconds,
+	// with Buckets[0] covering [0, 1 µs).
+	Buckets [20]int64
+}
+
+func (l *LatencyStats) record(d, window sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	l.Count++
+	l.Sum += d
+	if d > l.Max {
+		l.Max = d
+	}
+	if d > window {
+		l.Violations++
+	}
+	us := float64(d) / float64(sim.Microsecond)
+	idx := 0
+	if us >= 1 {
+		idx = int(math.Log2(us)) + 1
+	}
+	if idx >= len(l.Buckets) {
+		idx = len(l.Buckets) - 1
+	}
+	l.Buckets[idx]++
+}
+
+// Mean returns the mean persistence latency.
+func (l LatencyStats) Mean() sim.Time {
+	if l.Count == 0 {
+		return 0
+	}
+	return sim.Time(int64(l.Sum) / l.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile latency at bucket
+// (power-of-two microsecond) resolution.
+func (l LatencyStats) Quantile(q float64) sim.Time {
+	if l.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(l.Count)))
+	var cum int64
+	for i, c := range l.Buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return sim.Microsecond
+			}
+			return sim.Time(1<<uint(i)) * sim.Microsecond
+		}
+	}
+	return l.Max
+}
+
+// String renders a compact summary.
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p99<=%v max=%v violations=%d",
+		l.Count, l.Mean(), l.Quantile(0.99), l.Max, l.Violations)
+}

@@ -1,0 +1,146 @@
+package lss
+
+import (
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+func TestLatencyFullChunkIsImmediate(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	// Four same-timestamp blocks fill one chunk: latency 0.
+	for i := int64(0); i < 4; i++ {
+		s.WriteBlock(i, 0)
+	}
+	l := s.Metrics().Latency
+	if l.Count != 4 {
+		t.Fatalf("latency samples = %d, want 4", l.Count)
+	}
+	if l.Max != 0 {
+		t.Fatalf("max latency %v, want 0 for a full chunk", l.Max)
+	}
+	if l.Violations != 0 {
+		t.Fatalf("violations = %d", l.Violations)
+	}
+}
+
+func TestLatencyTimeoutHitsDeadline(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SLAWindow = 100 * sim.Microsecond
+	s := New(cfg, twoGroup{})
+	s.WriteBlock(0, 0)
+	// Next arrival far past the deadline: the flush is stamped at the
+	// deadline, so the block's latency equals the window exactly.
+	s.WriteBlock(1, 10*sim.Millisecond)
+	l := s.Metrics().Latency
+	if l.Count != 1 {
+		t.Fatalf("latency samples = %d, want 1", l.Count)
+	}
+	if l.Max != cfg.SLAWindow {
+		t.Fatalf("timeout latency %v, want exactly the window %v", l.Max, cfg.SLAWindow)
+	}
+	if l.Violations != 0 {
+		t.Fatal("deadline flush counted as violation")
+	}
+}
+
+func TestLatencyIntermediateCoalesce(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SLAWindow = 100 * sim.Microsecond
+	s := New(cfg, twoGroup{})
+	// Blocks at t=0,30,60,90µs fill the 4-block chunk at t=90: the
+	// first block waited 90µs, the last 0.
+	for i := int64(0); i < 4; i++ {
+		s.WriteBlock(i, sim.Time(i*30)*sim.Microsecond)
+	}
+	l := s.Metrics().Latency
+	if l.Count != 4 {
+		t.Fatalf("samples = %d", l.Count)
+	}
+	if l.Max != 90*sim.Microsecond {
+		t.Fatalf("max = %v, want 90us", l.Max)
+	}
+	if want := sim.Time((90 + 60 + 30 + 0) / 4 * int64(sim.Microsecond)); l.Mean() != want {
+		t.Fatalf("mean = %v, want %v", l.Mean(), want)
+	}
+}
+
+func TestLatencyEverySampleWithinWindowUnderStress(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SLAWindow = 100 * sim.Microsecond
+	s := New(cfg, twoGroup{})
+	rng := sim.NewRNG(17)
+	now := sim.Time(0)
+	for i := 0; i < 30000; i++ {
+		now += sim.Time(rng.Int63n(250)) * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := s.Metrics().Latency
+	if l.Count == 0 {
+		t.Fatal("no latency samples")
+	}
+	// Before Drain every persisted block met the SLA by construction.
+	if l.Violations != 0 {
+		t.Fatalf("%d SLA violations during normal operation", l.Violations)
+	}
+	if l.Max > cfg.SLAWindow {
+		t.Fatalf("max latency %v exceeds the window", l.Max)
+	}
+	if q := l.Quantile(0.5); q <= 0 || q > l.Quantile(0.99)*2 {
+		t.Fatalf("quantiles inconsistent: p50=%v p99=%v", q, l.Quantile(0.99))
+	}
+}
+
+func TestLatencyShadowPersistCounted(t *testing.T) {
+	adv := &scriptedAdvisor3{}
+	adv.action = func(g GroupID) TimeoutAction {
+		if g == 0 {
+			return TimeoutAction{Kind: ShadowInto, Target: 1}
+		}
+		return TimeoutAction{Kind: PadOwn}
+	}
+	cfg := smallConfig()
+	cfg.SLAWindow = 100 * sim.Microsecond
+	s := New(cfg, adv)
+	s.WriteBlock(0, 0) // group 0
+	s.WriteBlock(2, 10*sim.Millisecond)
+	l := s.Metrics().Latency
+	// lba 0 was shadow-persisted at its deadline: one sample at window.
+	if l.Count != 1 || l.Max != cfg.SLAWindow {
+		t.Fatalf("shadow persistence latency wrong: count=%d max=%v", l.Count, l.Max)
+	}
+	// The lazily flushed original must NOT produce a second sample
+	// later: fill the hot chunk and drain.
+	for i := int64(4); i < 10; i += 2 {
+		s.WriteBlock(i, 10*sim.Millisecond)
+	}
+	s.Drain(20 * sim.Millisecond)
+	l = s.Metrics().Latency
+	var total int64
+	for _, g := range s.Metrics().PerGroup {
+		total += g.UserBlocks
+	}
+	if l.Count != total {
+		t.Fatalf("latency samples %d != user blocks %d (double counting?)", l.Count, total)
+	}
+}
+
+func TestLatencyStatsQuantileEdges(t *testing.T) {
+	var l LatencyStats
+	if l.Quantile(0.5) != 0 || l.Mean() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	l.record(3*sim.Microsecond, 100*sim.Microsecond)
+	if got := l.Quantile(1.5); got <= 0 {
+		t.Fatalf("clamped quantile = %v", got)
+	}
+	if got := l.Quantile(-1); got <= 0 {
+		t.Fatalf("clamped low quantile = %v", got)
+	}
+	l.record(500*sim.Microsecond, 100*sim.Microsecond)
+	if l.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", l.Violations)
+	}
+}

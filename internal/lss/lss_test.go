@@ -1,0 +1,342 @@
+package lss
+
+import (
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+// twoGroup is a minimal SepGC-style policy: user writes to group 0, GC
+// rewrites to group 1.
+type twoGroup struct{}
+
+func (twoGroup) Name() string { return "test-sepgc" }
+func (twoGroup) Groups() int  { return 2 }
+func (twoGroup) PlaceUser(int64, sim.Time, sim.WriteClock) GroupID {
+	return 0
+}
+func (twoGroup) PlaceGC(int64, GroupID, sim.WriteClock, sim.WriteClock, sim.WriteClock) GroupID {
+	return 1
+}
+
+func smallConfig() Config {
+	return Config{
+		UserBlocks:    4096,
+		ChunkBlocks:   4,
+		SegmentChunks: 8, // 32-block segments
+		OverProvision: 0.25,
+	}
+}
+
+func TestWriteAndMapping(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	if err := s.WriteBlock(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().UserBlocks; got != 1 {
+		t.Fatalf("UserBlocks = %d, want 1", got)
+	}
+	if got := s.LiveBlocks(); got != 1 {
+		t.Fatalf("LiveBlocks = %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadLBARejected(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	if err := s.WriteBlock(-1, 0); err == nil {
+		t.Fatal("negative LBA accepted")
+	}
+	if err := s.WriteBlock(1<<40, 0); err == nil {
+		t.Fatal("oversized LBA accepted")
+	}
+}
+
+func TestOverwriteKeepsOneValidCopy(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	for i := 0; i < 100; i++ {
+		if err := s.WriteBlock(7, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.LiveBlocks(); got != 1 {
+		t.Fatalf("LiveBlocks after overwrites = %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseWritesNoPadding: back-to-back writes (same timestamp) never
+// wait, so no padding should occur.
+func TestDenseWritesNoPadding(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	for i := int64(0); i < 1024; i++ {
+		if err := s.WriteBlock(i%1000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Metrics().PaddingBlocks; got != 0 {
+		t.Fatalf("PaddingBlocks = %d, want 0 for dense traffic", got)
+	}
+}
+
+// TestSparseWritesPad: arrivals spaced beyond the SLA window must pad
+// every chunk.
+func TestSparseWritesPad(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SLAWindow = 100 * sim.Microsecond
+	s := New(cfg, twoGroup{})
+	gap := 200 * sim.Microsecond
+	for i := int64(0); i < 64; i++ {
+		if err := s.WriteBlock(i, sim.Time(i)*gap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain(s.Now() + sim.Second)
+	m := s.Metrics()
+	// Each block should have been flushed in its own chunk with
+	// ChunkBlocks-1 padding blocks.
+	wantPad := int64(64 * (cfg.ChunkBlocks - 1))
+	if m.PaddingBlocks != wantPad {
+		t.Fatalf("PaddingBlocks = %d, want %d", m.PaddingBlocks, wantPad)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSLABoundary: a block arriving exactly at the window edge flushes;
+// one arriving within the window coalesces.
+func TestSLABoundary(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SLAWindow = 100 * sim.Microsecond
+	s := New(cfg, twoGroup{})
+	s.WriteBlock(0, 0)
+	// 50µs later: still within window, same chunk.
+	s.WriteBlock(1, 50*sim.Microsecond)
+	if got := s.Metrics().PaddingBlocks; got != 0 {
+		t.Fatalf("padding before deadline: %d", got)
+	}
+	// 200µs: past deadline, the pending chunk must pad (2 data + 2 pad).
+	s.WriteBlock(2, 200*sim.Microsecond)
+	if got := s.Metrics().PaddingBlocks; got != 2 {
+		t.Fatalf("PaddingBlocks = %d, want 2", got)
+	}
+}
+
+func TestGCReclaimsAndPreservesData(t *testing.T) {
+	cfg := smallConfig()
+	s := New(cfg, twoGroup{})
+	// Fill the LBA space, then overwrite random blocks so that victim
+	// segments are partially valid and GC must migrate.
+	for i := int64(0); i < cfg.UserBlocks; i++ {
+		if err := s.WriteBlock(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(4)
+	for i := 0; i < int(cfg.UserBlocks)*6; i++ {
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.SegmentsReclaimed == 0 {
+		t.Fatal("GC never ran despite 6× overwrite")
+	}
+	if m.GCBlocks == 0 {
+		t.Fatal("GC reclaimed segments but migrated no blocks")
+	}
+	if got := s.LiveBlocks(); got != cfg.UserBlocks {
+		t.Fatalf("LiveBlocks = %d, want %d (no data lost)", got, cfg.UserBlocks)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// SepGC separation: GC blocks must land in group 1 only.
+	if m.PerGroup[0].GCBlocks != 0 {
+		t.Fatalf("GC blocks leaked into user group: %d", m.PerGroup[0].GCBlocks)
+	}
+	if m.PerGroup[1].UserBlocks != 0 {
+		t.Fatalf("user blocks leaked into GC group: %d", m.PerGroup[1].UserBlocks)
+	}
+}
+
+func TestWAImprovesWithSkew(t *testing.T) {
+	// A highly skewed overwrite pattern should yield lower WA than a
+	// uniform one under the same policy, because hot segments
+	// accumulate garbage faster.
+	run := func(skewed bool) float64 {
+		cfg := smallConfig()
+		s := New(cfg, twoGroup{})
+		rng := sim.NewRNG(1)
+		for i := int64(0); i < cfg.UserBlocks; i++ {
+			s.WriteBlock(i, 0)
+		}
+		for i := 0; i < int(cfg.UserBlocks)*6; i++ {
+			var lba int64
+			if skewed {
+				// 90% of writes hit 10% of the space.
+				if rng.Float64() < 0.9 {
+					lba = rng.Int63n(cfg.UserBlocks / 10)
+				} else {
+					lba = rng.Int63n(cfg.UserBlocks)
+				}
+			} else {
+				lba = rng.Int63n(cfg.UserBlocks)
+			}
+			s.WriteBlock(lba, 0)
+		}
+		return s.Metrics().WA()
+	}
+	uniform, skew := run(false), run(true)
+	if skew >= uniform {
+		t.Fatalf("skewed WA %.3f not lower than uniform WA %.3f", skew, uniform)
+	}
+}
+
+func TestCostBenefitRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Victim = CostBenefit
+	s := New(cfg, twoGroup{})
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < cfg.UserBlocks; i++ {
+			s.WriteBlock(i, 0)
+		}
+	}
+	if s.Metrics().SegmentsReclaimed == 0 {
+		t.Fatal("cost-benefit GC never reclaimed")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDChoicesRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Victim = DChoices
+	s := New(cfg, twoGroup{})
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < cfg.UserBlocks; i++ {
+			s.WriteBlock(i, 0)
+		}
+	}
+	if s.Metrics().SegmentsReclaimed == 0 {
+		t.Fatal("d-choices GC never reclaimed")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainFlushesPending(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	s.WriteBlock(1, 0)
+	s.WriteBlock(2, 0)
+	flushesBefore := s.Metrics().PerGroup[0].ChunkFlushes
+	s.Drain(sim.Second)
+	m := s.Metrics()
+	if m.PerGroup[0].ChunkFlushes != flushesBefore+1 {
+		t.Fatalf("Drain did not flush the pending chunk")
+	}
+	if m.PaddingBlocks != 2 {
+		t.Fatalf("Drain padding = %d, want 2", m.PaddingBlocks)
+	}
+	// Drain on an already-clean store is a no-op.
+	before := m.PaddingBlocks
+	s.Drain(2 * sim.Second)
+	if m.PaddingBlocks != before {
+		t.Fatal("second Drain padded again")
+	}
+}
+
+func TestMultiBlockWrite(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	if err := s.Write(10, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().UserBlocks; got != 8 {
+		t.Fatalf("UserBlocks = %d, want 8", got)
+	}
+	if got := s.LiveBlocks(); got != 8 {
+		t.Fatalf("LiveBlocks = %d, want 8", got)
+	}
+}
+
+func TestReadAccounting(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	s.Read(0, 4, 0)
+	if got := s.Metrics().ReadBlocks; got != 4 {
+		t.Fatalf("ReadBlocks = %d, want 4", got)
+	}
+}
+
+func TestParityAccounting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DataColumns = 3
+	s := New(cfg, twoGroup{})
+	for i := int64(0); i < 1000; i++ {
+		s.WriteBlock(i, 0)
+	}
+	s.Drain(sim.Second)
+	a := s.Array()
+	if a.DataChunks() == 0 {
+		t.Fatal("no chunks written")
+	}
+	// One parity chunk per DataColumns data chunks (complete stripes).
+	if want := a.DataChunks() / 3; a.ParityChunks() != want {
+		t.Fatalf("ParityChunks = %d, want %d", a.ParityChunks(), want)
+	}
+}
+
+func TestMetricsConsistencyUnderStress(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SLAWindow = 50 * sim.Microsecond
+	s := New(cfg, twoGroup{})
+	rng := sim.NewRNG(99)
+	now := sim.Time(0)
+	for i := 0; i < 40000; i++ {
+		now += sim.Time(rng.Int63n(120)) * sim.Microsecond
+		lba := rng.Int63n(cfg.UserBlocks)
+		if err := s.WriteBlock(lba, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain(now + sim.Second)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	// Array payload must equal non-padding block traffic.
+	wantPayload := (m.UserBlocks + m.GCBlocks + m.ShadowBlocks) * 4096
+	if got := s.Array().PayloadBytes(); got != wantPayload {
+		t.Fatalf("array payload %d != block traffic %d", got, wantPayload)
+	}
+	wantPad := m.PaddingBlocks * 4096
+	if got := s.Array().PaddingBytes(); got != wantPad {
+		t.Fatalf("array padding %d != padding blocks %d", got, wantPad)
+	}
+}
+
+func TestWriteClockAdvances(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	for i := int64(0); i < 10; i++ {
+		s.WriteBlock(i, 0)
+	}
+	if got := s.WriteClock(); got != 10 {
+		t.Fatalf("WriteClock = %d, want 10", got)
+	}
+}
+
+func TestNonMonotonicTimestampsClamped(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	s.WriteBlock(0, 100*sim.Microsecond)
+	// An out-of-order timestamp must not move time backwards.
+	s.WriteBlock(1, 50*sim.Microsecond)
+	if got := s.Now(); got != 100*sim.Microsecond {
+		t.Fatalf("Now = %v, want clamp at 100us", got)
+	}
+}

@@ -1,0 +1,89 @@
+package lss
+
+import "adapt/internal/sim"
+
+// Policy is a data-placement strategy: it decides which group receives
+// each user-written and each GC-rewritten block. Implementations live
+// in internal/placement (baselines) and internal/adaptcore (ADAPT).
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Groups returns the number of segment groups the policy uses.
+	Groups() int
+	// PlaceUser returns the group for a user-written block. w is the
+	// write clock *before* this write; now is simulated wall time.
+	PlaceUser(lba int64, now sim.Time, w sim.WriteClock) GroupID
+	// PlaceGC returns the group for a valid block being migrated out of
+	// a GC victim segment. from is the victim's group; segBorn and
+	// segSealed are the victim segment's creation and seal write
+	// clocks; w is the current write clock.
+	PlaceGC(lba int64, from GroupID, segBorn, segSealed sim.WriteClock, w sim.WriteClock) GroupID
+}
+
+// SegmentObserver is an optional Policy extension notified when GC
+// reclaims a segment. SepBIT and ADAPT use it to maintain segment
+// lifespan estimates.
+type SegmentObserver interface {
+	// OnSegmentReclaimed reports a reclaimed segment: its group, birth
+	// and seal write clocks, the number of still-valid blocks that were
+	// migrated, and its total block slots.
+	OnSegmentReclaimed(g GroupID, born, sealed, now sim.WriteClock, migrated, slots int)
+}
+
+// GroupSnapshot summarizes one group's open chunk and traffic history
+// for timeout-advisory decisions. All counters are cumulative.
+type GroupSnapshot struct {
+	Group GroupID
+	// OpenPending is the number of blocks buffered in the open chunk.
+	OpenPending int
+	// OpenUnpersisted is how many of those lack durability (have not
+	// been flushed or shadow-persisted).
+	OpenUnpersisted int
+	// OpenFree is the remaining block slots in the open chunk.
+	OpenFree int
+	// UserBlocks, GCBlocks, ShadowBlocks, PaddingBlocks are cumulative
+	// block counts written into this group.
+	UserBlocks, GCBlocks, ShadowBlocks, PaddingBlocks int64
+	// PaddingEvents counts padded chunk flushes in this group.
+	PaddingEvents int64
+	// SealedSegments is the group's current sealed segment count.
+	SealedSegments int
+}
+
+// TimeoutAction tells the store how to handle an open chunk whose SLA
+// window expired.
+type TimeoutAction struct {
+	// Kind selects the mechanism.
+	Kind TimeoutKind
+	// Target is the shadow group for ShadowInto.
+	Target GroupID
+	// Donors, for PadOwn, lists groups whose unpersisted pending blocks
+	// may fill this chunk's padding space (cross-group aggregation in
+	// the cold→hot piggyback direction). May be nil.
+	Donors []GroupID
+}
+
+// TimeoutKind enumerates timeout handling mechanisms.
+type TimeoutKind int
+
+const (
+	// PadOwn flushes the group's own open chunk, zero-padding the
+	// remainder (optionally after filling from Donors). This is the
+	// baseline behaviour.
+	PadOwn TimeoutKind = iota
+	// ShadowInto persists the group's unpersisted pending blocks as
+	// shadow copies in Target's open chunk and flushes Target's chunk
+	// immediately; the group's own chunk stays open with its timer
+	// reset (lazy append, §3.3).
+	ShadowInto
+)
+
+// Advisor is an optional Policy extension consulted on every SLA
+// timeout of a chunk holding user-written blocks. ADAPT implements it
+// to perform cross-group dynamic aggregation; baselines do not, so
+// they always pad.
+type Advisor interface {
+	// OnChunkTimeout decides how to flush group g's expired open chunk.
+	// groups holds snapshots of every group, indexed by GroupID.
+	OnChunkTimeout(g GroupID, now sim.Time, groups []GroupSnapshot) TimeoutAction
+}

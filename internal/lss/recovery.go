@@ -1,0 +1,232 @@
+package lss
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"adapt/internal/sim"
+)
+
+// Checkpointing and crash recovery. A log-structured store's durable
+// state is exactly its flushed segment summaries: per-slot block
+// addresses plus append versions. WriteCheckpoint serializes that
+// state; Recover rebuilds a store from it, reconstructing the LBA
+// mapping by choosing, for each block, the durable copy with the
+// highest append version — the roll-forward a real LSS performs after
+// a crash. Blocks buffered in open chunks that were never flushed are
+// lost (crash semantics) unless a shadow copy persisted them
+// (§3.3's durability argument for shadow append), in which case the
+// mapping recovers from the shadow slot.
+
+var ckptMagic = []byte("ADPTCK01")
+
+// ErrBadCheckpoint reports a malformed or mismatched checkpoint.
+var ErrBadCheckpoint = errors.New("lss: bad checkpoint")
+
+// WriteCheckpoint serializes the store's durable state. Only flushed
+// chunks are included: pending blocks in open chunks are not durable
+// and do not survive (exactly as in a crash; call Drain first for a
+// clean shutdown image).
+func (s *Store) WriteCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	// Geometry fingerprint, validated on recovery.
+	for _, v := range []uint64{
+		uint64(s.cfg.BlockSize), uint64(s.cfg.ChunkBlocks),
+		uint64(s.cfg.SegmentChunks), uint64(s.cfg.UserBlocks),
+		uint64(len(s.segments)), uint64(len(s.groups)),
+	} {
+		if err := putU(v); err != nil {
+			return err
+		}
+	}
+	if err := putU(uint64(s.w)); err != nil {
+		return err
+	}
+	if err := putU(uint64(s.appendSeq)); err != nil {
+		return err
+	}
+	if err := putU(uint64(s.now)); err != nil {
+		return err
+	}
+	for _, seg := range s.segments {
+		flushed := seg.written
+		if seg.state == segOpen {
+			flushed -= seg.written % s.chunkBlocks // drop the unflushed tail
+		}
+		if err := putU(uint64(seg.state)); err != nil {
+			return err
+		}
+		if err := putU(uint64(seg.group)); err != nil {
+			return err
+		}
+		if err := putU(uint64(seg.born)); err != nil {
+			return err
+		}
+		if err := putU(uint64(seg.sealedW)); err != nil {
+			return err
+		}
+		if err := putU(uint64(flushed)); err != nil {
+			return err
+		}
+		for i := 0; i < flushed; i++ {
+			if err := putI(seg.lbas[i]); err != nil {
+				return err
+			}
+			if err := putI(seg.vers[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Recover rebuilds a store from a checkpoint written by
+// WriteCheckpoint. cfg and policy must match the original geometry
+// (the policy's own state is rebuilt cold, as after any restart).
+// Traffic metrics restart from zero; only durable state is restored.
+func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
+	s := New(cfg, p)
+	br := bufio.NewReader(r)
+	head := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if string(head) != string(ckptMagic) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadCheckpoint, head)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getI := func() (int64, error) { return binary.ReadVarint(br) }
+
+	want := []uint64{
+		uint64(s.cfg.BlockSize), uint64(s.cfg.ChunkBlocks),
+		uint64(s.cfg.SegmentChunks), uint64(s.cfg.UserBlocks),
+		uint64(len(s.segments)), uint64(len(s.groups)),
+	}
+	names := []string{"block size", "chunk blocks", "segment chunks", "user blocks", "segments", "groups"}
+	for i, w := range want {
+		got, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: geometry: %v", ErrBadCheckpoint, err)
+		}
+		if got != w {
+			return nil, fmt.Errorf("%w: %s %d, store built with %d", ErrBadCheckpoint, names[i], got, w)
+		}
+	}
+	wclock, err := getU()
+	if err != nil {
+		return nil, fmt.Errorf("%w: write clock: %v", ErrBadCheckpoint, err)
+	}
+	seq, err := getU()
+	if err != nil {
+		return nil, fmt.Errorf("%w: append seq: %v", ErrBadCheckpoint, err)
+	}
+	now, err := getU()
+	if err != nil {
+		return nil, fmt.Errorf("%w: clock: %v", ErrBadCheckpoint, err)
+	}
+	s.w = sim.WriteClock(wclock)
+	s.appendSeq = int64(seq)
+	s.now = sim.Time(now)
+
+	s.free = s.free[:0]
+	bestVer := make([]int64, cfg.UserBlocks)
+	for _, seg := range s.segments {
+		st, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d state: %v", ErrBadCheckpoint, seg.id, err)
+		}
+		grp, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d group: %v", ErrBadCheckpoint, seg.id, err)
+		}
+		born, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d born: %v", ErrBadCheckpoint, seg.id, err)
+		}
+		sealedW, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d sealedW: %v", ErrBadCheckpoint, seg.id, err)
+		}
+		flushed, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d flushed: %v", ErrBadCheckpoint, seg.id, err)
+		}
+		if flushed > uint64(s.segBlocks) {
+			return nil, fmt.Errorf("%w: segment %d flushed %d > %d", ErrBadCheckpoint, seg.id, flushed, s.segBlocks)
+		}
+		if segState(st) > segSealed || int(grp) >= len(s.groups) {
+			return nil, fmt.Errorf("%w: segment %d state/group out of range", ErrBadCheckpoint, seg.id)
+		}
+		seg.state = segState(st)
+		seg.group = GroupID(grp)
+		seg.born = sim.WriteClock(born)
+		seg.sealedW = sim.WriteClock(sealedW)
+		seg.written = int(flushed)
+		seg.valid = 0
+		for i := 0; i < int(flushed); i++ {
+			v, err := getI()
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d slot %d: %v", ErrBadCheckpoint, seg.id, i, err)
+			}
+			ver, err := getI()
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d ver %d: %v", ErrBadCheckpoint, seg.id, i, err)
+			}
+			seg.lbas[i] = v
+			seg.vers[i] = ver
+			lba, ok := decodeSlot(v)
+			if !ok {
+				continue
+			}
+			if lba < 0 || lba >= cfg.UserBlocks {
+				return nil, fmt.Errorf("%w: segment %d slot %d lba %d out of range", ErrBadCheckpoint, seg.id, i, lba)
+			}
+			// Roll-forward: the highest-versioned durable copy wins.
+			if ver > bestVer[lba] {
+				if old := s.mapping[lba]; old >= 0 {
+					s.segments[old/int64(s.segBlocks)].valid--
+				}
+				bestVer[lba] = ver
+				s.mapping[lba] = int64(seg.id)*int64(s.segBlocks) + int64(i)
+				seg.valid++
+			}
+		}
+	}
+	// Rebuild the free pool and the groups' open segments.
+	for i := len(s.segments) - 1; i >= 0; i-- {
+		seg := s.segments[i]
+		switch seg.state {
+		case segFree:
+			s.free = append(s.free, seg.id)
+		case segOpen:
+			gr := s.groups[seg.group]
+			if gr.open != nil {
+				return nil, fmt.Errorf("%w: group %d has two open segments", ErrBadCheckpoint, seg.group)
+			}
+			gr.open = seg
+			// A fully written open segment (tail truncation landed on
+			// the segment boundary) seals immediately.
+			if seg.written == s.segBlocks {
+				s.seal(gr)
+			}
+		}
+	}
+	return s, nil
+}

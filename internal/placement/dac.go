@@ -1,0 +1,53 @@
+package placement
+
+import (
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+// DAC is Dynamic dAta Clustering [Chiang, Lee & Chang, SP&E'99]: data
+// blocks move between temperature regions, promoted one level on every
+// user update and demoted one level when garbage collection migrates
+// them. Group n-1 is hottest, group 0 coldest. User and GC writes
+// share the same groups (no user/GC decoupling), matching the paper's
+// five-group configuration.
+type DAC struct {
+	levels []int8
+	n      int8
+}
+
+// NewDAC returns a DAC policy with n temperature groups.
+func NewDAC(p Params, n int) *DAC {
+	p = p.validate()
+	if n < 2 {
+		n = 2
+	}
+	return &DAC{levels: make([]int8, p.UserBlocks), n: int8(n)}
+}
+
+// Name implements lss.Policy.
+func (*DAC) Name() string { return NameDAC }
+
+// Groups implements lss.Policy.
+func (d *DAC) Groups() int { return int(d.n) }
+
+// PlaceUser promotes the block one temperature level.
+func (d *DAC) PlaceUser(lba int64, _ sim.Time, _ sim.WriteClock) lss.GroupID {
+	l := d.levels[lba]
+	if l < d.n-1 {
+		l++
+	}
+	d.levels[lba] = l
+	return lss.GroupID(l)
+}
+
+// PlaceGC demotes the block one temperature level: surviving a GC pass
+// is evidence of coldness.
+func (d *DAC) PlaceGC(lba int64, _ lss.GroupID, _, _, _ sim.WriteClock) lss.GroupID {
+	l := d.levels[lba]
+	if l > 0 {
+		l--
+	}
+	d.levels[lba] = l
+	return lss.GroupID(l)
+}

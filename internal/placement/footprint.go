@@ -1,0 +1,23 @@
+package placement
+
+// Footprint methods report each policy's metadata memory cost in
+// bytes; the prototype memory experiment (Figure 12b) compares them
+// against ADAPT's.
+
+// Footprint returns SepGC's metadata cost: none.
+func (*SepGC) Footprint() int64 { return 0 }
+
+// Footprint returns DAC's per-block temperature level table.
+func (d *DAC) Footprint() int64 { return int64(len(d.levels)) }
+
+// Footprint returns MiDA's per-block migration-count table.
+func (m *MiDA) Footprint() int64 { return int64(len(m.migs)) }
+
+// Footprint returns WARCIP's per-block last-write table plus cluster
+// state.
+func (w *WARCIP) Footprint() int64 {
+	return int64(len(w.lastWrite))*8 + int64(len(w.centroids))*16
+}
+
+// Footprint returns SepBIT's per-block last-write table.
+func (s *SepBIT) Footprint() int64 { return int64(len(s.lastWrite)) * 8 }

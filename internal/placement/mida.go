@@ -1,0 +1,55 @@
+package placement
+
+import (
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+// MiDA [Park et al., APSys'21] classifies block lifetime by migration
+// count: every GC migration moves a block one group colder, and user
+// updates pull it one group hotter. Unlike SepGC-style designs, user
+// and GC writes share all groups — a block's user rewrite lands in the
+// group its migration history has earned, which is why the paper
+// observes user traffic (and padding) spread across every MiDA group.
+type MiDA struct {
+	migs []int8
+	n    int8
+}
+
+// NewMiDA returns a MiDA policy with n migration-count groups.
+func NewMiDA(p Params, n int) *MiDA {
+	p = p.validate()
+	if n < 2 {
+		n = 2
+	}
+	return &MiDA{migs: make([]int8, p.UserBlocks), n: int8(n)}
+}
+
+// Name implements lss.Policy.
+func (*MiDA) Name() string { return NameMiDA }
+
+// Groups implements lss.Policy.
+func (m *MiDA) Groups() int { return int(m.n) }
+
+// PlaceUser places the block according to its current migration count
+// and credits the update by decrementing the count (an updated block
+// proved livelier than its migration history suggested).
+func (m *MiDA) PlaceUser(lba int64, _ sim.Time, _ sim.WriteClock) lss.GroupID {
+	c := m.migs[lba]
+	g := lss.GroupID(c)
+	if c > 0 {
+		m.migs[lba] = c - 1
+	}
+	return g
+}
+
+// PlaceGC increments the migration count and moves the block one
+// group colder.
+func (m *MiDA) PlaceGC(lba int64, _ lss.GroupID, _, _, _ sim.WriteClock) lss.GroupID {
+	c := m.migs[lba]
+	if c < m.n-1 {
+		c++
+	}
+	m.migs[lba] = c
+	return lss.GroupID(c)
+}

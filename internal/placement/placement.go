@@ -1,0 +1,72 @@
+// Package placement implements the five baseline data-placement
+// strategies the paper evaluates ADAPT against (§4.1): SepGC, DAC,
+// WARCIP, MiDA, and SepBIT. Each is an lss.Policy; ADAPT itself lives
+// in internal/adaptcore.
+//
+// All policies index per-block state by LBA in dense arrays sized from
+// Params.UserBlocks, and measure time on the user write clock (blocks
+// written), the standard virtual time for lifespan estimation.
+package placement
+
+import (
+	"fmt"
+
+	"adapt/internal/lss"
+)
+
+// Params carries store geometry that policies need for sizing state
+// and choosing thresholds.
+type Params struct {
+	// UserBlocks is the user-visible LBA space in blocks.
+	UserBlocks int64
+	// SegmentBlocks is the segment size in blocks.
+	SegmentBlocks int
+	// ChunkBlocks is the array chunk size in blocks.
+	ChunkBlocks int
+}
+
+func (p Params) validate() Params {
+	if p.UserBlocks <= 0 {
+		panic("placement: UserBlocks must be positive")
+	}
+	if p.SegmentBlocks <= 0 {
+		p.SegmentBlocks = 512
+	}
+	if p.ChunkBlocks <= 0 {
+		p.ChunkBlocks = 16
+	}
+	return p
+}
+
+// Names of the baseline policies, as used by New.
+const (
+	NameSepGC  = "sepgc"
+	NameDAC    = "dac"
+	NameWARCIP = "warcip"
+	NameMiDA   = "mida"
+	NameSepBIT = "sepbit"
+)
+
+// BaselineNames lists all baseline policy names in evaluation order.
+func BaselineNames() []string {
+	return []string{NameSepGC, NameDAC, NameWARCIP, NameMiDA, NameSepBIT}
+}
+
+// New constructs a baseline policy by name with the paper's default
+// group configuration.
+func New(name string, p Params) (lss.Policy, error) {
+	switch name {
+	case NameSepGC:
+		return NewSepGC(p), nil
+	case NameDAC:
+		return NewDAC(p, 5), nil
+	case NameWARCIP:
+		return NewWARCIP(p, 5), nil
+	case NameMiDA:
+		return NewMiDA(p, 8), nil
+	case NameSepBIT:
+		return NewSepBIT(p), nil
+	default:
+		return nil, fmt.Errorf("placement: unknown policy %q", name)
+	}
+}

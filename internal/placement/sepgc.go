@@ -1,0 +1,32 @@
+package placement
+
+import (
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+// SepGC separates user-written blocks from GC-rewritten blocks into
+// two groups [Van Houdt, PEVA'14] — the baseline strategy widely
+// adopted in key-value stores (HashKV). Group 0 receives all user
+// writes, group 1 all GC rewrites.
+type SepGC struct{}
+
+// NewSepGC returns the SepGC policy.
+func NewSepGC(p Params) *SepGC {
+	p.validate()
+	return &SepGC{}
+}
+
+// Name implements lss.Policy.
+func (*SepGC) Name() string { return NameSepGC }
+
+// Groups implements lss.Policy.
+func (*SepGC) Groups() int { return 2 }
+
+// PlaceUser implements lss.Policy.
+func (*SepGC) PlaceUser(int64, sim.Time, sim.WriteClock) lss.GroupID { return 0 }
+
+// PlaceGC implements lss.Policy.
+func (*SepGC) PlaceGC(int64, lss.GroupID, sim.WriteClock, sim.WriteClock, sim.WriteClock) lss.GroupID {
+	return 1
+}

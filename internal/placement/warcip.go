@@ -1,0 +1,96 @@
+package placement
+
+import (
+	"math"
+
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+// WARCIP [Yang, Pei & Yang, SYSTOR'19] clusters user-written pages by
+// rewrite interval with an online k-means in log space, so pages with
+// similar update cadence share a segment group. GC rewrites go to one
+// dedicated group, per the paper's five-user-groups-plus-one
+// configuration.
+type WARCIP struct {
+	k         int
+	lastWrite []int64 // write clock of previous write, -1 if unseen
+	centroids []float64
+	counts    []int64
+	maxLog    float64
+}
+
+// NewWARCIP returns a WARCIP policy with k user clusters plus one GC
+// group.
+func NewWARCIP(p Params, k int) *WARCIP {
+	p = p.validate()
+	if k < 2 {
+		k = 2
+	}
+	w := &WARCIP{
+		k:         k,
+		lastWrite: make([]int64, p.UserBlocks),
+		centroids: make([]float64, k),
+		counts:    make([]int64, k),
+		maxLog:    math.Log2(float64(p.UserBlocks) + 1),
+	}
+	for i := range w.lastWrite {
+		w.lastWrite[i] = -1
+	}
+	// Spread the initial centroids across the plausible interval range
+	// so clusters specialize quickly.
+	for i := 0; i < k; i++ {
+		w.centroids[i] = w.maxLog * float64(i+1) / float64(k+1)
+	}
+	return w
+}
+
+// Name implements lss.Policy.
+func (*WARCIP) Name() string { return NameWARCIP }
+
+// Groups implements lss.Policy.
+func (w *WARCIP) Groups() int { return w.k + 1 }
+
+// PlaceUser assigns the block to the cluster whose centroid is nearest
+// to log2 of its rewrite interval, then nudges the centroid toward the
+// observation (online k-means).
+func (w *WARCIP) PlaceUser(lba int64, _ sim.Time, clock sim.WriteClock) lss.GroupID {
+	var x float64
+	if prev := w.lastWrite[lba]; prev >= 0 {
+		x = math.Log2(float64(int64(clock)-prev) + 1)
+	} else {
+		// First write: assume the longest interval (cold until proven
+		// hot), as WARCIP does for unknown pages.
+		x = w.maxLog
+	}
+	w.lastWrite[lba] = int64(clock)
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range w.centroids {
+		d := math.Abs(c - x)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	w.counts[best]++
+	// Decaying learning rate with a floor so centroids keep tracking
+	// workload drift.
+	lr := 1.0 / float64(w.counts[best])
+	if lr < 0.001 {
+		lr = 0.001
+	}
+	w.centroids[best] += lr * (x - w.centroids[best])
+	return lss.GroupID(best)
+}
+
+// PlaceGC sends every GC rewrite to the dedicated GC group.
+func (w *WARCIP) PlaceGC(int64, lss.GroupID, sim.WriteClock, sim.WriteClock, sim.WriteClock) lss.GroupID {
+	return lss.GroupID(w.k)
+}
+
+// Centroids exposes the current cluster centers (log2 interval) for
+// tests and diagnostics.
+func (w *WARCIP) Centroids() []float64 {
+	out := make([]float64, len(w.centroids))
+	copy(out, w.centroids)
+	return out
+}

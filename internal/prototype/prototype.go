@@ -1,0 +1,229 @@
+// Package prototype is the concurrent counterpart of the trace-driven
+// simulator, mirroring the paper's prototype experiments (§4.4):
+// client goroutines issue zipfian 4 KiB writes through a shared
+// log-structured store; every chunk flush is dispatched to a
+// bandwidth-modelled SSD in a RAID-5 layout (rotating parity) through
+// bounded per-device queues, so GC and padding traffic compete with
+// user writes for device time exactly as on the real array. Device
+// service is modelled with a virtual-time throttle rather than
+// per-operation sleeps, keeping the benchmark fast while preserving
+// the bandwidth ceiling.
+package prototype
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/workload"
+)
+
+// Config describes one prototype run.
+type Config struct {
+	// Store is the store geometry (chunk size, capacity, SLA window).
+	Store lss.Config
+	// Policy is the placement policy instance to drive.
+	Policy lss.Policy
+	// Clients is the number of writer goroutines.
+	Clients int
+	// Ops is the total number of 4 KiB user writes across clients.
+	Ops int64
+	// Theta is the zipfian skew of the update stream (YCSB-A: 0.99).
+	Theta float64
+	// Fill writes every block sequentially before the measured phase,
+	// so the update stream runs at full utilization (GC active), as
+	// the paper's prototype does after loading.
+	Fill bool
+	// ReadRatio interleaves reads at this fraction of operations
+	// (YCSB-A: 0.5). Reads consume device time (ReadServiceTime per
+	// chunk-sized access) on a random column, competing with writes.
+	ReadRatio float64
+	// ReadServiceTime is the device time per read (default half the
+	// write service time: reads skip the program/parity path).
+	ReadServiceTime time.Duration
+	// ServiceTime is the modelled device time per chunk write
+	// (≈ chunk size / per-SSD bandwidth).
+	ServiceTime time.Duration
+	// QueueDepth bounds each device's queue (paper: I/O depth 8).
+	QueueDepth int
+	// Seed drives the zipfian streams.
+	Seed uint64
+}
+
+// Result summarizes a prototype run.
+type Result struct {
+	OpsPerSec     float64
+	Elapsed       time.Duration
+	WA            float64
+	EffectiveWA   float64
+	PaddingRatio  float64
+	ChunksWritten int64
+	ParityChunks  int64
+
+	UserBlocks, GCBlocks, ShadowBlocks, PaddingBlocks int64
+}
+
+type chunkJob struct {
+	payload int64
+	pad     int64
+	read    bool
+}
+
+// device models one SSD: a bounded queue drained by a worker that
+// accrues the configured service time per chunk and throttles to it.
+type device struct {
+	ch      chan chunkJob
+	written int64
+}
+
+// Run executes the prototype experiment.
+func Run(cfg Config) (Result, error) {
+	if cfg.Clients < 1 {
+		return Result{}, fmt.Errorf("prototype: need at least one client")
+	}
+	if cfg.Ops < 1 {
+		return Result{}, fmt.Errorf("prototype: need at least one op")
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.ServiceTime <= 0 {
+		cfg.ServiceTime = 50 * time.Microsecond
+	}
+	if cfg.ReadServiceTime <= 0 {
+		cfg.ReadServiceTime = cfg.ServiceTime / 2
+	}
+	store := lss.New(cfg.Store, cfg.Policy)
+	ncols := store.Config().DataColumns + 1
+
+	devices := make([]*device, ncols)
+	for i := range devices {
+		devices[i] = &device{ch: make(chan chunkJob, cfg.QueueDepth)}
+	}
+	start := time.Now()
+	var devWG sync.WaitGroup
+	for _, d := range devices {
+		devWG.Add(1)
+		go func(d *device) {
+			defer devWG.Done()
+			var virtual time.Duration
+			for job := range d.ch {
+				if job.read {
+					virtual += cfg.ReadServiceTime
+				} else {
+					virtual += cfg.ServiceTime
+				}
+				d.written++
+				// Throttle to the modelled bandwidth, sleeping only
+				// when the debt is large enough for the OS timer.
+				if lag := virtual - time.Since(start); lag > 2*time.Millisecond {
+					time.Sleep(lag)
+				}
+			}
+		}(d)
+	}
+
+	// The sink runs under the store lock; a full device queue applies
+	// backpressure to every writer, exactly like a saturated array.
+	var stripeFill int
+	var parityRow int64
+	var parityChunks int64
+	store.SetChunkSink(func(w lss.ChunkWrite) {
+		parityCol := int(parityRow % int64(ncols))
+		col := stripeFill
+		if col >= parityCol {
+			col++
+		}
+		devices[col].ch <- chunkJob{payload: w.PayloadBytes, pad: w.PadBytes}
+		stripeFill++
+		if stripeFill == ncols-1 {
+			devices[parityCol].ch <- chunkJob{payload: int64(store.Config().ChunkBytes())}
+			parityChunks++
+			stripeFill = 0
+			parityRow++
+		}
+	})
+
+	if cfg.Fill {
+		for lba := int64(0); lba < cfg.Store.UserBlocks; lba++ {
+			if err := store.WriteBlock(lba, sim.Time(time.Since(start))); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	measureStart := time.Now()
+
+	var mu sync.Mutex
+	var issued atomic.Int64
+	var clientWG sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		clientWG.Add(1)
+		go func(c int) {
+			defer clientWG.Done()
+			rng := sim.NewRNG(cfg.Seed + uint64(c)*7919)
+			z := workload.NewZipf(rng, cfg.Store.UserBlocks, cfg.Theta, true)
+			for issued.Add(1) <= cfg.Ops {
+				lba := z.Next()
+				if cfg.ReadRatio > 0 && rng.Float64() < cfg.ReadRatio {
+					// Reads bypass the log but occupy a column.
+					mu.Lock()
+					store.Read(lba, 1, sim.Time(time.Since(start)))
+					mu.Unlock()
+					devices[rng.Intn(len(devices))].ch <- chunkJob{read: true}
+					continue
+				}
+				mu.Lock()
+				err := store.WriteBlock(lba, sim.Time(time.Since(start)))
+				mu.Unlock()
+				if err != nil {
+					panic(err) // LBAs are generated in range; this is a bug
+				}
+			}
+		}(c)
+	}
+	clientWG.Wait()
+	mu.Lock()
+	store.Drain(sim.Time(time.Since(start)))
+	mu.Unlock()
+	for _, d := range devices {
+		close(d.ch)
+	}
+	devWG.Wait()
+	elapsed := time.Since(measureStart)
+
+	m := store.Metrics()
+	res := Result{
+		Elapsed:       elapsed,
+		WA:            m.WA(),
+		EffectiveWA:   m.EffectiveWA(),
+		PaddingRatio:  m.PaddingRatio(),
+		ChunksWritten: store.Array().DataChunks(),
+		ParityChunks:  parityChunks,
+		UserBlocks:    m.UserBlocks,
+		GCBlocks:      m.GCBlocks,
+		ShadowBlocks:  m.ShadowBlocks,
+		PaddingBlocks: m.PaddingBlocks,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// FootprintReporter is implemented by policies that can report their
+// metadata memory cost.
+type FootprintReporter interface {
+	Footprint() int64
+}
+
+// Footprint returns a policy's reported metadata bytes, or 0 if the
+// policy does not report one.
+func Footprint(p lss.Policy) int64 {
+	if f, ok := p.(FootprintReporter); ok {
+		return f.Footprint()
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+// Package sampling implements the SHARDS-style spatial sampler used by
+// ADAPT's density-aware threshold adaptation (§3.2). Request blocks are
+// sampled uniformly by hashing their LBA; sampled blocks feed a
+// distance tree that yields unique-block access intervals, which are
+// scaled by the sampling rate to estimate real intervals. Per §4.4 the
+// sampler costs ≈ 44 bytes per tracked block.
+package sampling
+
+import "adapt/internal/distance"
+
+// Sample is the outcome of offering one block write to the sampler.
+type Sample struct {
+	// Sampled reports whether the block passed the spatial filter.
+	Sampled bool
+	// First reports whether this is the first sampled access to the LBA.
+	First bool
+	// UniqueInterval is the estimated number of distinct blocks written
+	// between the two most recent writes of this LBA, already scaled to
+	// the full (unsampled) stream. Valid only when Sampled && !First.
+	UniqueInterval int64
+	// RawInterval is the estimated number of block writes (with
+	// duplicates) between the two most recent writes of this LBA,
+	// scaled to the full stream. Valid only when Sampled && !First.
+	RawInterval int64
+	// UniqueSampled is the unscaled reuse distance within the sampled
+	// sub-stream — the native unit of ghost-set thresholds. Valid only
+	// when Sampled && !First.
+	UniqueSampled int64
+}
+
+// Sampler spatially samples a write stream and reports access
+// intervals for the sampled sub-stream.
+type Sampler struct {
+	rate      float64
+	threshold uint64 // sampled iff hash(lba) < threshold
+	tree      *distance.Tracker
+	lastSeq   map[int64]int64 // sampled LBA -> sampled-stream seq of last access
+	seq       int64           // sampled accesses so far
+	offered   int64           // total accesses offered
+	rawSum    float64         // sum of raw sampled intervals (for ratio)
+	uniqSum   float64         // sum of unique sampled intervals
+	nPairs    int64
+}
+
+// NewSampler returns a sampler with the given rate in (0, 1].
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 {
+		rate = 0.001
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	var threshold uint64
+	if rate >= 1 {
+		threshold = ^uint64(0)
+	} else {
+		threshold = uint64(rate * float64(^uint64(0)))
+	}
+	return &Sampler{
+		rate:      rate,
+		threshold: threshold,
+		tree:      distance.NewTracker(1024),
+		lastSeq:   make(map[int64]int64),
+	}
+}
+
+// Rate returns the configured sampling rate.
+func (s *Sampler) Rate() float64 { return s.rate }
+
+func hashLBA(lba int64) uint64 {
+	x := uint64(lba)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sampled reports whether lba passes the spatial filter, without
+// recording an access.
+func (s *Sampler) Sampled(lba int64) bool {
+	return hashLBA(lba) < s.threshold
+}
+
+// Offer presents one block write to the sampler.
+func (s *Sampler) Offer(lba int64) Sample {
+	s.offered++
+	if !s.Sampled(lba) {
+		return Sample{}
+	}
+	scale := 1.0 / s.rate
+	d := s.tree.Access(lba)
+	prev, seen := s.lastSeq[lba]
+	s.lastSeq[lba] = s.seq
+	s.seq++
+	if !seen || d == distance.Infinite {
+		return Sample{Sampled: true, First: true}
+	}
+	rawSampled := s.seq - 1 - prev
+	s.rawSum += float64(rawSampled)
+	s.uniqSum += float64(d)
+	s.nPairs++
+	return Sample{
+		Sampled:        true,
+		UniqueInterval: int64(float64(d) * scale),
+		RawInterval:    int64(float64(rawSampled) * scale),
+		UniqueSampled:  d,
+	}
+}
+
+// UniqueBlocks estimates the number of distinct blocks in the full
+// stream from the sampled sub-stream.
+func (s *Sampler) UniqueBlocks() int64 {
+	return int64(float64(s.tree.Unique()) / s.rate)
+}
+
+// RawPerUnique returns the average ratio of raw interval to unique
+// interval over all sampled reuse pairs; 1 when no duplicates have
+// been observed. Threshold adaptation uses it to convert ghost-set
+// thresholds (unique-block units) into real write-clock units.
+func (s *Sampler) RawPerUnique() float64 {
+	if s.nPairs == 0 || s.uniqSum == 0 {
+		return 1
+	}
+	r := s.rawSum / s.uniqSum
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// Offered returns the total number of accesses offered.
+func (s *Sampler) Offered() int64 { return s.offered }
+
+// SampledCount returns the number of accesses that passed the filter.
+func (s *Sampler) SampledCount() int64 { return s.seq }
+
+// Footprint estimates memory use in bytes. The paper reports ≈ 44
+// bytes per sampled block for the sampling module; our map entry plus
+// the distance-tree record is in the same regime.
+func (s *Sampler) Footprint() int64 {
+	return s.tree.Footprint() + int64(len(s.lastSeq))*44
+}

@@ -1,0 +1,142 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+func TestFullRateSamplesEverything(t *testing.T) {
+	s := NewSampler(1)
+	for i := int64(0); i < 100; i++ {
+		res := s.Offer(i)
+		if !res.Sampled {
+			t.Fatalf("rate-1 sampler rejected lba %d", i)
+		}
+		if !res.First {
+			t.Fatalf("first access to lba %d not flagged First", i)
+		}
+	}
+	if s.SampledCount() != 100 {
+		t.Fatalf("SampledCount = %d, want 100", s.SampledCount())
+	}
+}
+
+func TestIntervalAtFullRate(t *testing.T) {
+	s := NewSampler(1)
+	// Write 0,1,2,...,9 then 0 again: unique interval 9, raw interval 10.
+	for i := int64(0); i < 10; i++ {
+		s.Offer(i)
+	}
+	res := s.Offer(0)
+	if res.First {
+		t.Fatal("re-access flagged as First")
+	}
+	if res.UniqueInterval != 9 {
+		t.Fatalf("UniqueInterval = %d, want 9", res.UniqueInterval)
+	}
+	if res.RawInterval != 10 {
+		t.Fatalf("RawInterval = %d, want 10", res.RawInterval)
+	}
+}
+
+func TestSamplingRateApproximation(t *testing.T) {
+	const rate = 0.1
+	s := NewSampler(rate)
+	n := int64(200000)
+	for i := int64(0); i < n; i++ {
+		s.Offer(i)
+	}
+	got := float64(s.SampledCount()) / float64(n)
+	if math.Abs(got-rate) > 0.01 {
+		t.Fatalf("empirical sampling rate %.4f, want ≈ %.2f", got, rate)
+	}
+	// Unique-block estimate should be near n (all distinct).
+	est := float64(s.UniqueBlocks())
+	if math.Abs(est-float64(n))/float64(n) > 0.1 {
+		t.Fatalf("UniqueBlocks estimate %.0f, want ≈ %d", est, n)
+	}
+}
+
+func TestSamplingIsDeterministicPerLBA(t *testing.T) {
+	s := NewSampler(0.25)
+	for lba := int64(0); lba < 1000; lba++ {
+		a, b := s.Sampled(lba), s.Sampled(lba)
+		if a != b {
+			t.Fatalf("Sampled(%d) not deterministic", lba)
+		}
+	}
+}
+
+func TestScaledIntervals(t *testing.T) {
+	// At rate 0.5 a sampled raw interval d estimates a real interval of
+	// about 2d. Build a stream where every sampled block repeats with a
+	// fixed gap in the *sampled* sub-stream.
+	s := NewSampler(0.5)
+	var sampled []int64
+	for lba := int64(0); len(sampled) < 20; lba++ {
+		if s.Sampled(lba) {
+			sampled = append(sampled, lba)
+		}
+	}
+	for _, l := range sampled {
+		s.Offer(l)
+	}
+	res := s.Offer(sampled[0])
+	wantRaw := int64(float64(len(sampled)) / 0.5)
+	if res.RawInterval != wantRaw {
+		t.Fatalf("RawInterval = %d, want %d", res.RawInterval, wantRaw)
+	}
+}
+
+func TestRawPerUniqueWithDuplicates(t *testing.T) {
+	s := NewSampler(1)
+	// Pattern: a b b b a — raw interval 4, unique interval 1 → ratio 4.
+	s.Offer(1)
+	s.Offer(2)
+	s.Offer(2)
+	s.Offer(2)
+	s.Offer(1)
+	// That access contributes raw=4, unique=1; b's re-accesses
+	// contribute raw=1,unique=0 twice (unique sum unchanged).
+	if r := s.RawPerUnique(); r < 1.5 {
+		t.Fatalf("RawPerUnique = %.2f, want > 1.5 for duplicate-heavy stream", r)
+	}
+}
+
+func TestRawPerUniqueDefaultsToOne(t *testing.T) {
+	s := NewSampler(1)
+	if r := s.RawPerUnique(); r != 1 {
+		t.Fatalf("RawPerUnique with no pairs = %.2f, want 1", r)
+	}
+}
+
+func TestDegenerateRates(t *testing.T) {
+	for _, r := range []float64{-1, 0, 2} {
+		s := NewSampler(r)
+		if s.Rate() <= 0 || s.Rate() > 1 {
+			t.Fatalf("rate %f not clamped: %f", r, s.Rate())
+		}
+	}
+}
+
+func TestFootprintScalesWithSampledBlocks(t *testing.T) {
+	s := NewSampler(1)
+	before := s.Footprint()
+	for i := int64(0); i < 1000; i++ {
+		s.Offer(i)
+	}
+	if s.Footprint() <= before {
+		t.Fatal("footprint did not grow with sampled blocks")
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	s := NewSampler(0.01)
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(rng.Int63n(1 << 22))
+	}
+}

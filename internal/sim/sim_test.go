@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+		{90 * Minute, "1.50h"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{64 << 10, "64.00KiB"},
+		{3 << 20, "3.00MiB"},
+		{5 << 30, "5.00GiB"},
+		{2 << 40, "2.00TiB"},
+	}
+	for _, c := range cases {
+		if got := ByteSize(c.n); got != c.want {
+			t.Errorf("ByteSize(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint32) bool {
+		n := int64(nRaw%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Int63n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	r := NewRNG(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈ 1", mean)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(5)
+	child := parent.Split()
+	// Child must not replay the parent's stream.
+	p, c := NewRNG(5), child
+	match := 0
+	for i := 0; i < 100; i++ {
+		if p.Uint64() == c.Uint64() {
+			match++
+		}
+	}
+	if match > 2 {
+		t.Fatalf("child replays parent stream: %d/100 matches", match)
+	}
+}
+
+func TestTimeStringNotEmpty(t *testing.T) {
+	for _, tt := range []Time{0, 1, Microsecond, Second, Hour} {
+		if strings.TrimSpace(tt.String()) == "" {
+			t.Fatalf("empty String() for %d", int64(tt))
+		}
+	}
+}

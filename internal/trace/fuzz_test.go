@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: parsers and the binary decoder must never panic on
+// arbitrary input — they either parse or return an error.
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid trace and some corruptions.
+	var buf bytes.Buffer
+	tr := &Trace{Name: "seed", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 4096, Size: 4096},
+		{Time: 100, Op: OpRead, Offset: 0, Size: 8192},
+	}}
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ADPTRC01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+func FuzzParseMSR(f *testing.F) {
+	f.Add("128166372003061629,usr,0,Write,0,4096,100")
+	f.Add("garbage")
+	f.Add("a,b,c,d,e,f,g")
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseMSR(strings.NewReader(line), "fuzz")
+		if err == nil && tr == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+func FuzzParseAli(f *testing.F) {
+	f.Add("3,W,1024,4096,1000000")
+	f.Add(",,,,")
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseAli(strings.NewReader(line), "fuzz")
+		if err == nil && tr == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+func FuzzParseTencent(f *testing.F) {
+	f.Add("1538323200,8,8,1,1283")
+	f.Add("-1,-2,-3,9,x")
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseTencent(strings.NewReader(line), "fuzz")
+		if err == nil && tr == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}

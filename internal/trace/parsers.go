@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"adapt/internal/sim"
+)
+
+// ParseMSR reads an MSR-Cambridge CSV trace:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is a Windows filetime (100 ns ticks since 1601); times are
+// rebased to the first record. Type is "Read" or "Write".
+func ParseMSR(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := newScanner(r)
+	var base int64 = -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("msr %s: short line %q", name, line)
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("msr %s: bad timestamp %q", name, f[0])
+		}
+		off, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("msr %s: bad offset %q", name, f[4])
+		}
+		size, err := strconv.ParseInt(f[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("msr %s: bad size %q", name, f[5])
+		}
+		if base < 0 {
+			base = ts
+		}
+		op := OpRead
+		if strings.EqualFold(strings.TrimSpace(f[3]), "write") {
+			op = OpWrite
+		}
+		t.Records = append(t.Records, Record{
+			Time:   sim.Time((ts - base) * 100), // filetime tick = 100 ns
+			Op:     op,
+			Offset: off,
+			Size:   size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseAli reads an Alibaba cloud block storage CSV trace:
+//
+//	device_id,opcode,offset,length,timestamp
+//
+// offset/length in bytes, timestamp in microseconds, opcode R/W.
+func ParseAli(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := newScanner(r)
+	var base int64 = -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 5 {
+			return nil, fmt.Errorf("ali %s: short line %q", name, line)
+		}
+		off, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ali %s: bad offset %q", name, f[2])
+		}
+		size, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ali %s: bad length %q", name, f[3])
+		}
+		ts, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ali %s: bad timestamp %q", name, f[4])
+		}
+		if base < 0 {
+			base = ts
+		}
+		op := OpRead
+		if strings.EqualFold(strings.TrimSpace(f[1]), "w") {
+			op = OpWrite
+		}
+		t.Records = append(t.Records, Record{
+			Time:   sim.Time(ts-base) * sim.Microsecond,
+			Op:     op,
+			Offset: off,
+			Size:   size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseTencent reads a Tencent CBS CSV trace:
+//
+//	timestamp,offset,size,ioType,volumeID
+//
+// timestamp in seconds, offset and size in 512-byte sectors, ioType 0
+// for read and 1 for write.
+func ParseTencent(r io.Reader, name string) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := newScanner(r)
+	var base int64 = -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 4 {
+			return nil, fmt.Errorf("tencent %s: short line %q", name, line)
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tencent %s: bad timestamp %q", name, f[0])
+		}
+		off, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tencent %s: bad offset %q", name, f[1])
+		}
+		size, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tencent %s: bad size %q", name, f[2])
+		}
+		if base < 0 {
+			base = ts
+		}
+		op := OpRead
+		if strings.TrimSpace(f[3]) == "1" {
+			op = OpWrite
+		}
+		t.Records = append(t.Records, Record{
+			Time:   sim.Time(ts-base) * sim.Second,
+			Op:     op,
+			Offset: off * 512,
+			Size:   size * 512,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return sc
+}

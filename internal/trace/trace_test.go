@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+)
+
+func TestParseMSR(t *testing.T) {
+	src := strings.Join([]string{
+		"128166372003061629,usr,0,Write,0,4096,100",
+		"128166372013061629,usr,0,Read,8192,8192,50",
+		"128166372023061629,usr,0,write,16384,4096,80",
+	}, "\n")
+	tr, err := ParseMSR(strings.NewReader(src), "msr-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 3 {
+		t.Fatalf("%d records, want 3", len(tr.Records))
+	}
+	if tr.Records[0].Time != 0 {
+		t.Fatalf("first record not rebased: %v", tr.Records[0].Time)
+	}
+	// 10^7 filetime ticks = 1 second.
+	if tr.Records[1].Time != sim.Second {
+		t.Fatalf("second record at %v, want 1s", tr.Records[1].Time)
+	}
+	if tr.Records[1].Op != OpRead || tr.Records[2].Op != OpWrite {
+		t.Fatal("op parsing wrong (case-insensitivity)")
+	}
+	if tr.Records[2].Offset != 16384 {
+		t.Fatalf("offset = %d", tr.Records[2].Offset)
+	}
+}
+
+func TestParseMSRRejectsGarbage(t *testing.T) {
+	if _, err := ParseMSR(strings.NewReader("not,a,trace"), "x"); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ParseMSR(strings.NewReader("a,b,c,Write,1,2,3"), "x"); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+}
+
+func TestParseAli(t *testing.T) {
+	src := "3,W,1024,4096,1000000\n3,R,0,512,1500000\n"
+	tr, err := ParseAli(strings.NewReader(src), "ali-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("%d records", len(tr.Records))
+	}
+	if tr.Records[0].Op != OpWrite || tr.Records[1].Op != OpRead {
+		t.Fatal("ops wrong")
+	}
+	if tr.Records[1].Time != 500*sim.Millisecond {
+		t.Fatalf("time = %v, want 500ms", tr.Records[1].Time)
+	}
+}
+
+func TestParseTencent(t *testing.T) {
+	src := "1538323200,8,8,1,1283\n1538323201,16,1,0,1283\n"
+	tr, err := ParseTencent(strings.NewReader(src), "tc-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records[0].Offset != 8*512 || tr.Records[0].Size != 8*512 {
+		t.Fatalf("sector conversion wrong: %+v", tr.Records[0])
+	}
+	if tr.Records[0].Op != OpWrite || tr.Records[1].Op != OpRead {
+		t.Fatal("ioType parsing wrong")
+	}
+	if tr.Records[1].Time != sim.Second {
+		t.Fatalf("time = %v", tr.Records[1].Time)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "rt", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 4096, Size: 8192},
+		{Time: 100, Op: OpRead, Offset: 0, Size: 4096},
+		{Time: 5000, Op: OpWrite, Offset: 1 << 30, Size: 65536},
+	}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Records) != len(orig.Records) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range orig.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], orig.Records[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(times []uint32, sizes []uint16) bool {
+		tr := &Trace{Name: "q"}
+		now := sim.Time(0)
+		for i := range times {
+			now += sim.Time(times[i])
+			size := int64(4096)
+			if len(sizes) > 0 {
+				size = int64(sizes[i%len(sizes)])*512 + 512
+			}
+			tr.Records = append(tr.Records, Record{
+				Time: now, Op: Op(i % 2), Offset: int64(i) * 4096, Size: size,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("JUNKJUNK")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	tr := &Trace{Name: "x", Records: []Record{{Time: 1, Op: OpWrite, Offset: 0, Size: 4096}}}
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestBinaryRejectsUnsorted(t *testing.T) {
+	tr := &Trace{Name: "x", Records: []Record{
+		{Time: 100, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: 50, Op: OpWrite, Offset: 0, Size: 4096},
+	}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+}
+
+func TestDensify(t *testing.T) {
+	tr := &Trace{Name: "d", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 1 << 30, Size: 8192}, // blocks X, X+1
+		{Time: 1, Op: OpWrite, Offset: 1 << 40, Size: 4096}, // far block Y
+		{Time: 2, Op: OpWrite, Offset: 1 << 30, Size: 4096}, // block X again
+	}}
+	dense, blocks := tr.Densify(4096)
+	if blocks != 3 {
+		t.Fatalf("dense blocks = %d, want 3", blocks)
+	}
+	if dense.Records[0].Offset != 0 || dense.Records[0].Size != 8192 {
+		t.Fatalf("first record not remapped contiguously: %+v", dense.Records[0])
+	}
+	if dense.Records[1].Offset != 2*4096 {
+		t.Fatalf("second record offset = %d", dense.Records[1].Offset)
+	}
+	// Repeat access maps to the same dense block.
+	if dense.Records[2].Offset != 0 {
+		t.Fatalf("repeat access remapped to %d", dense.Records[2].Offset)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := &Trace{Name: "a", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 0, Size: 4096},
+		{Time: sim.Second, Op: OpWrite, Offset: 4096, Size: 8192},
+		{Time: 2 * sim.Second, Op: OpRead, Offset: 0, Size: 4096},
+	}}
+	s := tr.Analyze(4096)
+	if s.Writes != 2 || s.Reads != 1 {
+		t.Fatalf("writes/reads = %d/%d", s.Writes, s.Reads)
+	}
+	if s.ReqPerSec != 1.5 {
+		t.Fatalf("ReqPerSec = %v, want 1.5", s.ReqPerSec)
+	}
+	if s.AvgWriteKiB != 6 {
+		t.Fatalf("AvgWriteKiB = %v, want 6", s.AvgWriteKiB)
+	}
+	if s.FootprintKiB != 12 {
+		t.Fatalf("FootprintKiB = %v, want 12 (3 blocks)", s.FootprintKiB)
+	}
+}
+
+type userOnly struct{}
+
+func (userOnly) Name() string { return "user-only" }
+func (userOnly) Groups() int  { return 2 }
+func (userOnly) PlaceUser(int64, sim.Time, sim.WriteClock) lss.GroupID {
+	return 0
+}
+func (userOnly) PlaceGC(int64, lss.GroupID, sim.WriteClock, sim.WriteClock, sim.WriteClock) lss.GroupID {
+	return 1
+}
+
+func TestReplayDrivesStore(t *testing.T) {
+	tr := &Trace{Name: "r"}
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		now += 10 * sim.Microsecond
+		tr.Records = append(tr.Records, Record{
+			Time: now, Op: OpWrite,
+			Offset: int64(i%500) * 4096, Size: 4096,
+		})
+	}
+	cfg := lss.Config{UserBlocks: 512, ChunkBlocks: 4, SegmentChunks: 8, OverProvision: 0.25}
+	s := lss.New(cfg, userOnly{})
+	if err := Replay(s, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().UserBlocks; got != 2000 {
+		t.Fatalf("UserBlocks = %d, want 2000", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRejectsOutOfRange(t *testing.T) {
+	tr := &Trace{Name: "bad", Records: []Record{
+		{Time: 0, Op: OpWrite, Offset: 1 << 40, Size: 4096},
+	}}
+	cfg := lss.Config{UserBlocks: 512, ChunkBlocks: 4, SegmentChunks: 8, OverProvision: 0.25}
+	s := lss.New(cfg, userOnly{})
+	if err := Replay(s, tr); err == nil {
+		t.Fatal("out-of-range replay accepted")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{Time: 30}, {Time: 10}, {Time: 20},
+	}}
+	tr.SortByTime()
+	if tr.Records[0].Time != 10 || tr.Records[2].Time != 30 {
+		t.Fatalf("not sorted: %+v", tr.Records)
+	}
+}

@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"adapt/internal/sim"
+	"adapt/internal/trace"
+)
+
+// Profile selects which production environment a synthesized suite
+// imitates. The parameters are fit to the paper's published workload
+// statistics (§2.3, Figure 2): sparse per-volume request rates
+// (75–86% of volumes under 10 req/s, ~2% above 100 req/s), small
+// writes (≈70–81% at or below 8 KiB), Tencent more skewed than
+// Alibaba, MSRC read-intensive with a heavier large-write tail.
+type Profile string
+
+// Supported profiles.
+const (
+	ProfileAli     Profile = "ali"
+	ProfileTencent Profile = "tencent"
+	ProfileMSRC    Profile = "msrc"
+)
+
+// Profiles lists the three production profiles in evaluation order.
+func Profiles() []Profile { return []Profile{ProfileAli, ProfileTencent, ProfileMSRC} }
+
+// profileParams are the population-level distributions volumes are
+// drawn from.
+type profileParams struct {
+	theta       float64   // zipfian skew center
+	readRatio   float64   // fraction of read requests
+	rateMedian  float64   // median volume request rate, req/s
+	rateSigma   float64   // lognormal sigma for per-volume rates
+	sizeWeights []float64 // write-size mixture over sizeClasses
+	burstiness  float64   // 0..1, strength of on/off modulation
+	clusterP    float64   // probability an arrival trails a micro-burst
+	clusterLen  float64   // mean follower count per micro-burst
+}
+
+// sizeClasses are write sizes in 4 KiB blocks: 4K, 8K, 16K, 32K, 64K,
+// 128K.
+var sizeClasses = []int64{1, 2, 4, 8, 16, 32}
+
+func params(p Profile) profileParams {
+	switch p {
+	case ProfileAli:
+		return profileParams{
+			theta: 0.90, readRatio: 0.45, rateMedian: 3.0, rateSigma: 1.7,
+			sizeWeights: []float64{0.48, 0.27, 0.08, 0.06, 0.07, 0.04},
+			burstiness:  0.5, clusterP: 0.75, clusterLen: 9,
+		}
+	case ProfileTencent:
+		return profileParams{
+			theta: 0.98, readRatio: 0.30, rateMedian: 2.5, rateSigma: 1.7,
+			sizeWeights: []float64{0.55, 0.26, 0.08, 0.05, 0.04, 0.02},
+			burstiness:  0.6, clusterP: 0.8, clusterLen: 10,
+		}
+	case ProfileMSRC:
+		return profileParams{
+			theta: 0.93, readRatio: 0.70, rateMedian: 4.0, rateSigma: 1.6,
+			sizeWeights: []float64{0.42, 0.28, 0.06, 0.05, 0.12, 0.07},
+			burstiness:  0.8, clusterP: 0.7, clusterLen: 8,
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown profile %q", p))
+	}
+}
+
+// Volume describes one synthesized volume. The description is cheap;
+// Generate materializes the trace on demand.
+type Volume struct {
+	Name            string
+	Profile         Profile
+	FootprintBlocks int64   // distinct 4 KiB blocks
+	Theta           float64 // zipfian skew
+	ReadRatio       float64
+	Rate            float64 // mean request rate, req/s
+	WriteOps        int64   // write requests to generate
+	Burstiness      float64
+	Seed            uint64
+	BlockSize       int64
+}
+
+// SuiteConfig controls suite synthesis.
+type SuiteConfig struct {
+	// Profile selects the production environment.
+	Profile Profile
+	// Volumes is the number of volumes (the paper samples 50).
+	Volumes int
+	// ScaleBlocks centers the per-volume footprint (log-uniform in
+	// [Scale/2, 2×Scale]). Default 32 Ki blocks = 128 MiB.
+	ScaleBlocks int64
+	// OverwriteFactor sets write volume per volume: total written
+	// blocks ≈ factor × footprint, enough to cycle GC. Default 5.
+	OverwriteFactor float64
+	// Seed selects the deterministic random stream.
+	Seed uint64
+}
+
+// NewSuite draws per-volume parameters for a suite.
+func NewSuite(cfg SuiteConfig) []Volume {
+	if cfg.Volumes <= 0 {
+		cfg.Volumes = 50
+	}
+	if cfg.ScaleBlocks <= 0 {
+		cfg.ScaleBlocks = 32 << 10
+	}
+	if cfg.OverwriteFactor <= 0 {
+		cfg.OverwriteFactor = 5
+	}
+	pp := params(cfg.Profile)
+	rng := sim.NewRNG(cfg.Seed ^ hashProfile(cfg.Profile))
+	vols := make([]Volume, cfg.Volumes)
+	for i := range vols {
+		vr := rng.Split()
+		// Footprint: log-uniform around the scale.
+		fp := float64(cfg.ScaleBlocks) * math.Pow(2, 2*vr.Float64()-1)
+		// Rate: lognormal across volumes (Figure 2a sparsity).
+		rate := pp.rateMedian * math.Exp(pp.rateSigma*vr.NormFloat64())
+		if rate < 0.05 {
+			rate = 0.05
+		}
+		if rate > 2000 {
+			rate = 2000
+		}
+		theta := pp.theta + 0.05*(2*vr.Float64()-1)
+		if theta >= 0.999 {
+			theta = 0.999
+		}
+		avgBlocks := avgSize(pp.sizeWeights)
+		writeOps := int64(cfg.OverwriteFactor * fp / avgBlocks)
+		vols[i] = Volume{
+			Name:            fmt.Sprintf("%s-vol%02d", cfg.Profile, i),
+			Profile:         cfg.Profile,
+			FootprintBlocks: int64(fp),
+			Theta:           theta,
+			ReadRatio:       pp.readRatio + 0.1*(2*vr.Float64()-1),
+			Rate:            rate,
+			WriteOps:        writeOps,
+			Burstiness:      pp.burstiness,
+			Seed:            vr.Uint64(),
+			BlockSize:       4096,
+		}
+	}
+	return vols
+}
+
+func avgSize(weights []float64) float64 {
+	var s, w float64
+	for i, p := range weights {
+		s += p * float64(sizeClasses[i])
+		w += p
+	}
+	return s / w
+}
+
+func hashProfile(p Profile) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range []byte(p) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// Generate materializes the volume as a block I/O trace. Arrivals are
+// a Poisson process modulated by an on/off burst chain; write sizes
+// follow the profile mixture; write locations are scrambled-zipfian
+// over the footprint.
+func (v Volume) Generate() *trace.Trace {
+	if v.BlockSize <= 0 {
+		v.BlockSize = 4096
+	}
+	rng := sim.NewRNG(v.Seed)
+	pp := params(v.Profile)
+	zw := NewZipf(rng.Split(), v.FootprintBlocks, v.Theta, true)
+	zr := NewZipf(rng.Split(), v.FootprintBlocks, v.Theta, true)
+	t := &trace.Trace{Name: v.Name}
+	now := sim.Time(0)
+	meanGap := sim.Time(float64(sim.Second) / v.Rate)
+	burst := false
+	var written int64
+	var lastEnd int64 // block after the previous write, for runs
+	// emit appends one request at the given time, bumping written for
+	// writes. sequential selects run continuation (real traces: cold
+	// sequential runs and hot update clumps, not independent draws).
+	emit := func(at sim.Time, sequential bool) {
+		if rng.Float64() < v.ReadRatio {
+			lba := zr.Next()
+			t.Records = append(t.Records, trace.Record{
+				Time: at, Op: trace.OpRead,
+				Offset: lba * v.BlockSize, Size: v.BlockSize * (1 + rng.Int63n(4)),
+			})
+			return
+		}
+		size := sizeClasses[pick(rng, pp.sizeWeights)]
+		var lba int64
+		if sequential {
+			lba = lastEnd
+		} else {
+			lba = zw.Next()
+		}
+		if lba+size > v.FootprintBlocks {
+			lba = v.FootprintBlocks - size
+			if lba < 0 {
+				lba, size = 0, v.FootprintBlocks
+			}
+		}
+		lastEnd = lba + size
+		t.Records = append(t.Records, trace.Record{
+			Time: at, Op: trace.OpWrite,
+			Offset: lba * v.BlockSize, Size: size * v.BlockSize,
+		})
+		written++
+	}
+	for written < v.WriteOps {
+		// On/off modulation: bursts compress interarrivals 10×, idle
+		// stretches them 3×. Toggle with small probability so burst
+		// episodes span many requests.
+		if rng.Float64() < 0.01 {
+			burst = !burst
+		}
+		factor := 1.0
+		if v.Burstiness > 0 {
+			if burst {
+				factor = 1 - 0.9*v.Burstiness
+			} else {
+				factor = 1 + 2*v.Burstiness
+			}
+		}
+		now += sim.Time(rng.ExpFloat64() * float64(meanGap) * factor)
+		emit(now, false)
+		// Micro-burst clustering: real block traces arrive in clumps
+		// (queue drains, sequential runs split across requests, hot
+		// update flurries), which is what gives write coalescing
+		// something to merge within the SLA window. Followers trail
+		// the primary by tens of µs; a burst is either a sequential
+		// run (cold data laid down once) or a clump of independent
+		// updates.
+		if pp.clusterP > 0 && rng.Float64() < pp.clusterP {
+			at := now
+			sequential := rng.Float64() < 0.5
+			for written < v.WriteOps {
+				at += sim.Time(rng.ExpFloat64() * float64(25*sim.Microsecond))
+				emit(at, sequential)
+				// Geometric continuation with mean clusterLen.
+				if rng.Float64() < 1/pp.clusterLen {
+					break
+				}
+			}
+			if at > now {
+				now = at
+			}
+		}
+	}
+	return t
+}
+
+// pick samples an index proportional to weights.
+func pick(rng *sim.RNG, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"adapt/internal/sim"
+	"adapt/internal/trace"
+)
+
+func TestZipfRange(t *testing.T) {
+	rng := sim.NewRNG(1)
+	z := NewZipf(rng, 1000, 0.99, true)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfSkewConcentration(t *testing.T) {
+	// With theta 0.99 (unscrambled), low keys dominate: the top 20% of
+	// keys should receive well over half the draws.
+	rng := sim.NewRNG(2)
+	z := NewZipf(rng, 1000, 0.99, false)
+	inTop := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		if z.Next() < 200 {
+			inTop++
+		}
+	}
+	frac := float64(inTop) / draws
+	if frac < 0.6 {
+		t.Fatalf("top-20%% keys received %.2f of draws, want > 0.6", frac)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	rng := sim.NewRNG(3)
+	z := NewZipf(rng, 10, 0, false)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("key %d frequency %.3f not uniform", i, frac)
+		}
+	}
+}
+
+func TestZipfScrambleSpreadsHotKeys(t *testing.T) {
+	rng := sim.NewRNG(4)
+	z := NewZipf(rng, 1000, 0.99, true)
+	counts := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// Find the hottest key: with scrambling it should usually NOT be
+	// key 0..2 (it is hashed somewhere else in the space).
+	hot, hotC := int64(-1), 0
+	for k, c := range counts {
+		if c > hotC {
+			hot, hotC = k, c
+		}
+	}
+	if hot < 3 {
+		t.Logf("note: hottest key scrambled to %d (possible but unlikely)", hot)
+	}
+	if hotC < 1000 {
+		t.Fatalf("scrambled zipf lost skew: hottest key drew only %d", hotC)
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipf(sim.NewRNG(9), 500, 0.9, true)
+	b := NewZipf(sim.NewRNG(9), 500, 0.9, true)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGenerateYCSB(t *testing.T) {
+	tr := Generate(YCSBConfig{
+		Blocks: 1000, Writes: 5000, Fill: true,
+		Theta: 0.99, MeanGap: 10 * sim.Microsecond, Seed: 1,
+	})
+	writes := tr.Writes()
+	if writes != 6000 { // 1000 fill + 5000 updates
+		t.Fatalf("writes = %d, want 6000", writes)
+	}
+	// Timestamps must be non-decreasing.
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Time < tr.Records[i-1].Time {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+}
+
+func TestGenerateYCSBReads(t *testing.T) {
+	tr := Generate(YCSBConfig{
+		Blocks: 1000, Writes: 2000, Theta: 0.5,
+		ReadRatio: 0.5, MeanGap: sim.Microsecond, Seed: 2,
+	})
+	if got := tr.Writes(); got != 2000 {
+		t.Fatalf("writes = %d, want exactly 2000", got)
+	}
+	reads := len(tr.Records) - tr.Writes()
+	if reads < 1000 || reads > 3500 {
+		t.Fatalf("reads = %d, want ≈ 2000 at ratio 0.5", reads)
+	}
+}
+
+func TestGenerateYCSBMeanGap(t *testing.T) {
+	gap := 200 * sim.Microsecond
+	tr := Generate(YCSBConfig{Blocks: 100, Writes: 20000, Theta: 0, MeanGap: gap, Seed: 3})
+	dur := tr.Duration()
+	got := float64(dur) / float64(len(tr.Records)-1)
+	want := float64(gap)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("mean gap %.0fns, want ≈ %.0fns", got, want)
+	}
+}
+
+func TestSuiteVolumeCount(t *testing.T) {
+	vols := NewSuite(SuiteConfig{Profile: ProfileAli, Volumes: 20, Seed: 1})
+	if len(vols) != 20 {
+		t.Fatalf("%d volumes, want 20", len(vols))
+	}
+	for _, v := range vols {
+		if v.FootprintBlocks <= 0 || v.WriteOps <= 0 || v.Rate <= 0 {
+			t.Fatalf("degenerate volume %+v", v)
+		}
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a := NewSuite(SuiteConfig{Profile: ProfileTencent, Volumes: 5, Seed: 7})
+	b := NewSuite(SuiteConfig{Profile: ProfileTencent, Volumes: 5, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("volume %d differs across same-seed suites", i)
+		}
+	}
+	ta := a[0].Generate()
+	tb := b[0].Generate()
+	if len(ta.Records) != len(tb.Records) {
+		t.Fatal("generated traces differ across same-seed suites")
+	}
+}
+
+func TestSuiteRateDistributionIsSparse(t *testing.T) {
+	// Figure 2a: most volumes below 10 req/s, few above 100 req/s.
+	vols := NewSuite(SuiteConfig{Profile: ProfileAli, Volumes: 400, Seed: 5})
+	below10, above100 := 0, 0
+	for _, v := range vols {
+		if v.Rate < 10 {
+			below10++
+		}
+		if v.Rate > 100 {
+			above100++
+		}
+	}
+	fb, fa := float64(below10)/400, float64(above100)/400
+	if fb < 0.6 {
+		t.Fatalf("only %.2f of volumes under 10 req/s, want sparse population", fb)
+	}
+	if fa > 0.1 {
+		t.Fatalf("%.2f of volumes above 100 req/s, want rare", fa)
+	}
+}
+
+func TestVolumeGenerateShape(t *testing.T) {
+	vols := NewSuite(SuiteConfig{Profile: ProfileMSRC, Volumes: 1, ScaleBlocks: 4096, Seed: 11})
+	v := vols[0]
+	tr := v.Generate()
+	if got := int64(tr.Writes()); got != v.WriteOps {
+		t.Fatalf("writes = %d, want %d", got, v.WriteOps)
+	}
+	// All accesses must stay inside the footprint.
+	for _, r := range tr.Records {
+		if r.Offset < 0 || r.Op == trace.OpWrite && r.Offset+r.Size > v.FootprintBlocks*v.BlockSize {
+			t.Fatalf("record outside footprint: %+v", r)
+		}
+	}
+	// MSRC is read-intensive: reads should outnumber writes.
+	reads := len(tr.Records) - tr.Writes()
+	if reads <= tr.Writes()/2 {
+		t.Fatalf("MSRC volume not read-heavy: %d reads vs %d writes", reads, tr.Writes())
+	}
+	// Timestamps monotonic.
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Time < tr.Records[i-1].Time {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+}
+
+func TestWriteSizeMixture(t *testing.T) {
+	// Figure 2b: most writes ≤ 8 KiB for the Ali profile.
+	vols := NewSuite(SuiteConfig{Profile: ProfileAli, Volumes: 4, ScaleBlocks: 8192, Seed: 13})
+	small, total := 0, 0
+	for _, v := range vols {
+		tr := v.Generate()
+		for _, r := range tr.Records {
+			if r.Op != trace.OpWrite {
+				continue
+			}
+			total++
+			if r.Size <= 8192 {
+				small++
+			}
+		}
+	}
+	if frac := float64(small) / float64(total); frac < 0.6 || frac > 0.9 {
+		t.Fatalf("≤8KiB write fraction %.2f, want ≈ 0.75", frac)
+	}
+}
+
+func TestProfilesListed(t *testing.T) {
+	if len(Profiles()) != 3 {
+		t.Fatal("expected 3 profiles")
+	}
+	for _, p := range Profiles() {
+		_ = params(p) // must not panic
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload synthesizes the request streams the paper
+// evaluates: YCSB-style update-heavy zipfian workloads with
+// controllable access density and skew (§4.3), and multi-volume
+// production suites whose per-volume request rates, write sizes, and
+// skew distributions match the published statistics of the Alibaba,
+// Tencent, and MSR-Cambridge traces (§2.3, Figure 2).
+package workload
+
+import (
+	"math"
+
+	"adapt/internal/sim"
+)
+
+// Zipf generates zipfian-distributed values over [0, n) using the
+// Gray et al. algorithm (the one YCSB uses), with optional scrambling
+// so that popularity is spread over the key space instead of
+// concentrating on low keys.
+type Zipf struct {
+	rng      *sim.RNG
+	n        int64
+	theta    float64
+	alpha    float64
+	zetan    float64
+	zeta2    float64
+	eta      float64
+	scramble bool
+}
+
+// NewZipf builds a zipfian generator over [0, n) with skew theta in
+// [0, 1). theta = 0 degenerates to uniform; YCSB default is 0.99.
+func NewZipf(rng *sim.RNG, n int64, theta float64, scramble bool) *Zipf {
+	if n <= 0 {
+		panic("workload: zipf over empty range")
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	if theta >= 1 {
+		theta = 0.999
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta, scramble: scramble}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	var sum float64
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next zipfian value in [0, n).
+func (z *Zipf) Next() int64 {
+	if z.theta == 0 {
+		return z.rng.Int63n(z.n)
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var v int64
+	switch {
+	case uz < 1:
+		v = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		v = 1
+	default:
+		v = int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if z.scramble {
+		v = scramble(v) % z.n
+	}
+	return v
+}
+
+// scramble is a 64-bit finalizer hash restricted to non-negative
+// outputs, matching YCSB's "scrambled zipfian" idea.
+func scramble(v int64) int64 {
+	x := uint64(v)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x >> 1)
+}

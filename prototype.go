@@ -1,0 +1,96 @@
+package adapt
+
+import (
+	"time"
+
+	"adapt/internal/prototype"
+)
+
+// PrototypeConfig describes a concurrent prototype run (§4.4): client
+// goroutines issue zipfian 4 KiB writes against a shared store whose
+// chunk flushes are dispatched to bandwidth-modelled SSDs through
+// bounded queues.
+type PrototypeConfig struct {
+	// Simulator is the store geometry and policy (Victim selects GC).
+	Simulator SimulatorConfig
+	// Clients is the number of writer goroutines (paper: 1, 4, 8).
+	Clients int
+	// Ops is the total number of user block writes.
+	Ops int64
+	// Theta is the zipfian skew (YCSB-A: 0.99).
+	Theta float64
+	// Fill writes every block sequentially before the measured phase,
+	// so updates run at full utilization with GC active.
+	Fill bool
+	// ReadRatio interleaves reads at this fraction of operations
+	// (YCSB-A: 0.5); reads consume device bandwidth.
+	ReadRatio float64
+	// ServiceTime is the modelled device time per 64 KiB chunk
+	// (default 50 µs ≈ 1.3 GB/s per SSD).
+	ServiceTime time.Duration
+	// QueueDepth bounds each device queue (paper: I/O depth 8).
+	QueueDepth int
+	// Seed drives the client streams.
+	Seed uint64
+}
+
+// PrototypeResult summarizes a prototype run.
+type PrototypeResult struct {
+	OpsPerSec     float64
+	Elapsed       time.Duration
+	WA            float64
+	PaddingRatio  float64
+	ChunksWritten int64
+}
+
+// RunPrototype executes a concurrent prototype experiment.
+func RunPrototype(c PrototypeConfig) (PrototypeResult, error) {
+	cfg, err := c.Simulator.lssConfig()
+	if err != nil {
+		return PrototypeResult{}, err
+	}
+	sim, err := NewSimulator(c.Simulator)
+	if err != nil {
+		return PrototypeResult{}, err
+	}
+	res, err := prototype.Run(prototype.Config{
+		Store:       cfg,
+		Policy:      sim.policy,
+		Clients:     c.Clients,
+		Ops:         c.Ops,
+		Theta:       c.Theta,
+		Fill:        c.Fill,
+		ReadRatio:   c.ReadRatio,
+		ServiceTime: c.ServiceTime,
+		QueueDepth:  c.QueueDepth,
+		Seed:        c.Seed,
+	})
+	if err != nil {
+		return PrototypeResult{}, err
+	}
+	return PrototypeResult{
+		OpsPerSec:     res.OpsPerSec,
+		Elapsed:       res.Elapsed,
+		WA:            res.WA,
+		PaddingRatio:  res.PaddingRatio,
+		ChunksWritten: res.ChunksWritten,
+	}, nil
+}
+
+// PolicyFootprintBytes reports the metadata memory cost of a policy at
+// the given store size after warming it with ops zipfian writes —
+// the Figure 12b comparison.
+func PolicyFootprintBytes(policy string, userBlocks, warmOps int64) (int64, error) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: userBlocks, Policy: policy})
+	if err != nil {
+		return 0, err
+	}
+	tr := GenerateYCSB(YCSBConfig{Blocks: userBlocks, Writes: warmOps, Theta: 0.99, Seed: 1})
+	if err := s.Replay(tr); err != nil {
+		return 0, err
+	}
+	if d, ok := s.Diagnostics(); ok {
+		return d.BaseTableBytes + d.FootprintBytes, nil
+	}
+	return prototype.Footprint(s.policy), nil
+}

@@ -1,0 +1,35 @@
+package adapt
+
+import (
+	"io"
+
+	"adapt/internal/lss"
+)
+
+// WriteCheckpoint serializes the store's durable state (flushed
+// segment summaries with per-slot versions). Blocks still buffered in
+// open chunks are not durable and are not included — call Drain first
+// for a clean-shutdown image, or checkpoint mid-run to model a crash.
+func (s *Simulator) WriteCheckpoint(w io.Writer) error {
+	return s.store.WriteCheckpoint(w)
+}
+
+// RecoverSimulator rebuilds a simulator from a checkpoint, rolling the
+// LBA mapping forward from segment summaries: for every block the
+// highest-versioned durable copy wins, including shadow copies written
+// by ADAPT's cross-group aggregation (the §3.3 durability argument).
+// The configuration must match the checkpoint's geometry; the
+// placement policy restarts cold, as after any real restart.
+func RecoverSimulator(r io.Reader, c SimulatorConfig) (*Simulator, error) {
+	// Build a simulator to obtain a fresh policy instance and the
+	// effective geometry, then recover the store state around it.
+	fresh, err := NewSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	store, err := lss.Recover(r, fresh.store.Config(), fresh.policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{store: store, policy: fresh.policy}, nil
+}

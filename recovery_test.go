@@ -1,0 +1,120 @@
+package adapt
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFacadeCheckpointRecovery(t *testing.T) {
+	cfg := SimulatorConfig{UserBlocks: 4096, Policy: PolicyADAPT}
+	s, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateYCSB(YCSBConfig{
+		Blocks: 4096, Writes: 16 << 10, Fill: true,
+		Theta: 0.99, MeanGap: 120 * time.Microsecond, Seed: 4,
+	})
+	if err := s.Replay(tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverSimulator(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered store accepts further writes under the same policy.
+	if err := r.Write(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Drain()
+	if m := r.Metrics(); m.UserBlocks != 4 {
+		t.Fatalf("recovered store user blocks = %d", m.UserBlocks)
+	}
+	// Geometry mismatch must be rejected.
+	var buf2 bytes.Buffer
+	if err := s.WriteCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.UserBlocks = 8192
+	if _, err := RecoverSimulator(&buf2, bad); err == nil {
+		t.Fatal("mismatched geometry accepted")
+	}
+}
+
+func TestFacadeDevice(t *testing.T) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: 4096, Policy: PolicySepBIT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(DeviceConfig{
+		UserPages:     s.SimulatorDevicePages(),
+		PagesPerBlock: 64,
+		OverProvision: 0.1,
+		Streams:       s.GroupCount(),
+	})
+	s.AttachDevice(dev, true)
+	tr := GenerateYCSB(YCSBConfig{
+		Blocks: 4096, Writes: 16 << 10, Fill: true,
+		Theta: 0.99, MeanGap: 10 * time.Microsecond, Seed: 6,
+	})
+	if err := s.Replay(tr); err != nil {
+		t.Fatal(err)
+	}
+	m := dev.Metrics()
+	if m.HostPages == 0 {
+		t.Fatal("device saw no traffic")
+	}
+	if m.WA < 1 {
+		t.Fatalf("device WA %f", m.WA)
+	}
+	if m.WearImbalance < 1 {
+		t.Fatalf("wear imbalance %f", m.WearImbalance)
+	}
+}
+
+func TestFacadeLatencyMetrics(t *testing.T) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: 2048, Policy: PolicySepGC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateYCSB(YCSBConfig{
+		Blocks: 2048, Writes: 8 << 10, Fill: true,
+		Theta: 0.9, MeanGap: 60 * time.Microsecond, Seed: 8,
+	})
+	if err := s.Replay(tr); err != nil {
+		t.Fatal(err)
+	}
+	l := s.Metrics().Latency
+	if l.Count == 0 {
+		t.Fatal("no latency samples")
+	}
+	if l.Mean <= 0 || l.P99 < l.P50 || l.Max < l.P50 {
+		t.Fatalf("latency summary inconsistent: %+v", l)
+	}
+	// The 100 µs SLA bounds persistence latency during operation.
+	if l.Mean > 100*time.Microsecond {
+		t.Fatalf("mean latency %v exceeds the SLA window", l.Mean)
+	}
+}
+
+func TestFacadeTrim(t *testing.T) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: 1024, Policy: PolicySepGC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Trim(0, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Trim(1<<20, 1, 0); err == nil {
+		t.Fatal("out-of-range trim accepted")
+	}
+}

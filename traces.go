@@ -1,0 +1,138 @@
+package adapt
+
+import (
+	"io"
+	"time"
+
+	"adapt/internal/sim"
+	"adapt/internal/trace"
+)
+
+// Op is a request type.
+type Op uint8
+
+// Request operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// Record is one block I/O request; Offset and Size are bytes, Time is
+// relative to the trace start.
+type Record struct {
+	Time   time.Duration
+	Op     Op
+	Offset int64
+	Size   int64
+}
+
+// Trace is an ordered request sequence for one volume.
+type Trace struct {
+	Name    string
+	Records []Record
+}
+
+// TraceStats summarizes a trace (Figure 2 characterization).
+type TraceStats struct {
+	Requests     int
+	Writes       int
+	Reads        int
+	Duration     time.Duration
+	ReqPerSec    float64
+	AvgWriteKiB  float64
+	FootprintKiB int64
+}
+
+func toInternal(t *Trace) *trace.Trace {
+	out := &trace.Trace{Name: t.Name, Records: make([]trace.Record, len(t.Records))}
+	for i, r := range t.Records {
+		out.Records[i] = trace.Record{
+			Time: sim.Time(r.Time), Op: trace.Op(r.Op), Offset: r.Offset, Size: r.Size,
+		}
+	}
+	return out
+}
+
+func fromInternal(t *trace.Trace) *Trace {
+	out := &Trace{Name: t.Name, Records: make([]Record, len(t.Records))}
+	for i, r := range t.Records {
+		out.Records[i] = Record{
+			Time: time.Duration(r.Time), Op: Op(r.Op), Offset: r.Offset, Size: r.Size,
+		}
+	}
+	return out
+}
+
+// Stats computes summary statistics with the given block size (0 means
+// 4 KiB).
+func (t *Trace) Stats(blockSize int64) TraceStats {
+	s := toInternal(t).Analyze(blockSize)
+	return TraceStats{
+		Requests:     s.Requests,
+		Writes:       s.Writes,
+		Reads:        s.Reads,
+		Duration:     time.Duration(s.Duration),
+		ReqPerSec:    s.ReqPerSec,
+		AvgWriteKiB:  s.AvgWriteKiB,
+		FootprintKiB: s.FootprintKiB,
+	}
+}
+
+// Densify remaps the trace onto a dense block address space and
+// returns the remapped trace plus the number of dense blocks — use it
+// before Replay for traces with sparse offsets.
+func (t *Trace) Densify(blockSize int64) (*Trace, int64) {
+	d, blocks := toInternal(t).Densify(blockSize)
+	return fromInternal(d), blocks
+}
+
+// Replay drives the simulator with the trace: writes are placed block
+// by block, reads are recorded, and buffered chunks are drained at the
+// end. The trace must fit the simulator's LBA space (see Densify).
+func (s *Simulator) Replay(t *Trace) error {
+	return trace.Replay(s.store, toInternal(t))
+}
+
+// ParseMSR parses an MSR-Cambridge CSV trace
+// (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime).
+func ParseMSR(r io.Reader, name string) (*Trace, error) {
+	t, err := trace.ParseMSR(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(t), nil
+}
+
+// ParseAli parses an Alibaba cloud block storage CSV trace
+// (device_id,opcode,offset,length,timestamp).
+func ParseAli(r io.Reader, name string) (*Trace, error) {
+	t, err := trace.ParseAli(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(t), nil
+}
+
+// ParseTencent parses a Tencent CBS CSV trace
+// (timestamp,offset,size,ioType,volumeID), sector-addressed.
+func ParseTencent(r io.Reader, name string) (*Trace, error) {
+	t, err := trace.ParseTencent(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(t), nil
+}
+
+// WriteBinary writes the trace in the compact binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	return trace.WriteBinary(w, toInternal(t))
+}
+
+// ReadBinaryTrace reads a trace written by WriteBinary.
+func ReadBinaryTrace(r io.Reader) (*Trace, error) {
+	t, err := trace.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(t), nil
+}

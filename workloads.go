@@ -1,0 +1,102 @@
+package adapt
+
+import (
+	"time"
+
+	"adapt/internal/sim"
+	"adapt/internal/workload"
+)
+
+// YCSBConfig describes a YCSB-A style update-heavy workload (§4.3).
+type YCSBConfig struct {
+	// Blocks is the record space (one 4 KiB block per record).
+	Blocks int64
+	// Writes is the number of update writes to generate.
+	Writes int64
+	// Fill prepends a sequential write of every block.
+	Fill bool
+	// Theta is the zipfian constant (0 uniform, YCSB default 0.99).
+	Theta float64
+	// MeanGap is the mean interarrival time; gaps above the 100 µs SLA
+	// window make the workload "light" in the paper's terms.
+	MeanGap time.Duration
+	// ReadRatio interleaves reads at this rate.
+	ReadRatio float64
+	// Seed selects the deterministic random stream.
+	Seed uint64
+}
+
+// GenerateYCSB materializes the workload as a trace.
+func GenerateYCSB(c YCSBConfig) *Trace {
+	return fromInternal(workload.Generate(workload.YCSBConfig{
+		Blocks:    c.Blocks,
+		Writes:    c.Writes,
+		Fill:      c.Fill,
+		Theta:     c.Theta,
+		MeanGap:   sim.Time(c.MeanGap),
+		ReadRatio: c.ReadRatio,
+		Seed:      c.Seed,
+	}))
+}
+
+// Production profiles for synthesized volume suites.
+const (
+	ProfileAli     = "ali"
+	ProfileTencent = "tencent"
+	ProfileMSRC    = "msrc"
+)
+
+// Volume describes one synthesized production volume; Generate
+// materializes its trace.
+type Volume struct {
+	Name            string
+	FootprintBlocks int64
+	Theta           float64
+	ReadRatio       float64
+	Rate            float64
+	WriteOps        int64
+
+	inner workload.Volume
+}
+
+// Generate materializes the volume's trace.
+func (v Volume) Generate() *Trace { return fromInternal(v.inner.Generate()) }
+
+// SuiteConfig controls production-suite synthesis (§2.3/Figure 2
+// distributions).
+type SuiteConfig struct {
+	// Profile is one of ProfileAli, ProfileTencent, ProfileMSRC.
+	Profile string
+	// Volumes is the number of volumes (the paper samples 50).
+	Volumes int
+	// ScaleBlocks centers per-volume footprints (default 32 Ki blocks).
+	ScaleBlocks int64
+	// OverwriteFactor sets write volume relative to footprint.
+	OverwriteFactor float64
+	// Seed selects the deterministic random stream.
+	Seed uint64
+}
+
+// NewSuite synthesizes a production volume suite.
+func NewSuite(c SuiteConfig) []Volume {
+	vols := workload.NewSuite(workload.SuiteConfig{
+		Profile:         workload.Profile(c.Profile),
+		Volumes:         c.Volumes,
+		ScaleBlocks:     c.ScaleBlocks,
+		OverwriteFactor: c.OverwriteFactor,
+		Seed:            c.Seed,
+	})
+	out := make([]Volume, len(vols))
+	for i, v := range vols {
+		out[i] = Volume{
+			Name:            v.Name,
+			FootprintBlocks: v.FootprintBlocks,
+			Theta:           v.Theta,
+			ReadRatio:       v.ReadRatio,
+			Rate:            v.Rate,
+			WriteOps:        v.WriteOps,
+			inner:           v,
+		}
+	}
+	return out
+}
