@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-telemetry
+
+## check: full local gate — vet, build, race-enabled test suite.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-telemetry: verify the disabled-telemetry hot path stays free.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench BenchmarkTelemetryHotPath -benchtime 500000x -count 3 .

@@ -8,6 +8,7 @@ import (
 	"adapt/internal/lss"
 	"adapt/internal/placement"
 	"adapt/internal/sim"
+	"adapt/internal/telemetry"
 )
 
 // Placement policy names accepted by SimulatorConfig.Policy.
@@ -232,6 +233,38 @@ func NewSimulator(c SimulatorConfig) (*Simulator, error) {
 
 // PolicyName returns the active placement policy's name.
 func (s *Simulator) PolicyName() string { return s.policy.Name() }
+
+// TelemetryConfig tunes the telemetry subsystem attached by
+// EnableTelemetry. Zero values take the telemetry package defaults.
+type TelemetryConfig struct {
+	// WindowInterval is the time-series snapshot interval in simulated
+	// (trace) time. Default 10 ms.
+	WindowInterval time.Duration
+	// MaxWindows bounds the retained window ring (default 4096).
+	MaxWindows int
+	// EventCapacity bounds the event tracer ring (default 4096).
+	EventCapacity int
+}
+
+// EnableTelemetry attaches a telemetry set to the simulator: the
+// store's canonical metrics register with the time-series recorder,
+// GC/flush/padding events flow into the tracer, and — when the active
+// policy is ADAPT — threshold adaptations and proactive demotions are
+// instrumented too. Call it once, before replaying any traffic.
+// The returned Set exposes the registry, recorder, and tracer for
+// export (telemetry.WriteWindowsJSONL, Set.Tracer.WriteJSONL, ...).
+func (s *Simulator) EnableTelemetry(tc TelemetryConfig) *telemetry.Set {
+	ts := telemetry.New(telemetry.Options{
+		WindowInterval: sim.Time(tc.WindowInterval),
+		MaxWindows:     tc.MaxWindows,
+		EventCapacity:  tc.EventCapacity,
+	})
+	s.store.SetTelemetry(ts)
+	if p, ok := s.policy.(*adaptcore.Policy); ok {
+		p.SetTelemetry(ts)
+	}
+	return ts
+}
 
 // Write appends user-written blocks starting at lba at the given
 // trace time.

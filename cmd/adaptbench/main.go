@@ -6,6 +6,9 @@
 //
 //	adaptbench -exp all -scale small
 //	adaptbench -exp fig8 -scale full
+//	adaptbench -exp telemetry -series series.jsonl -events events.jsonl
+//	adaptbench -replay series.jsonl
+//	adaptbench -exp telemetry -debug localhost:6060
 package main
 
 import (
@@ -17,13 +20,32 @@ import (
 
 	"adapt/internal/harness"
 	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/telemetry"
 	"adapt/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|all")
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|telemetry|all")
 	scaleName := flag.String("scale", "small", "experiment scale: small|full")
+	policy := flag.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
+	series := flag.String("series", "", "write telemetry time-series windows (JSONL) to this file")
+	seriesCSV := flag.String("series-csv", "", "write telemetry time-series windows (CSV) to this file")
+	events := flag.String("events", "", "write telemetry event trace (JSONL) to this file")
+	debug := flag.String("debug", "", "serve live telemetry + pprof on this address (e.g. localhost:6060) and block after the run")
+	replay := flag.String("replay", "", "render the stats table from a previously dumped -series JSONL file and exit")
+	window := flag.Duration("window", 10*time.Millisecond, "telemetry window interval (simulated time)")
 	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		fatal(err)
+		ws, err := telemetry.ReadWindowsJSONL(f)
+		f.Close()
+		fatal(err)
+		fmt.Print(harness.RenderWindows(fmt.Sprintf("Telemetry replay — %s (%d windows)", *replay, len(ws)), ws))
+		return
+	}
 
 	var sc harness.Scale
 	switch *scaleName {
@@ -126,10 +148,60 @@ func main() {
 		fatal(err)
 		fmt.Println(harness.RenderLatency(cells))
 	}
+	if *exp == "telemetry" {
+		ran = true
+		ts, res, err := harness.TelemetryRun(sc, *policy, telemetry.Options{
+			WindowInterval: sim.Time(*window),
+		})
+		fatal(err)
+		ws := ts.Recorder.Windows()
+		fmt.Print(harness.RenderWindows(
+			fmt.Sprintf("Telemetry — %s on YCSB-A (%d windows, %d dropped)",
+				res.Policy, len(ws), ts.Recorder.Dropped()), ws))
+		fmt.Printf("run totals: WA %.2f, effective WA %.2f, padding %.1f%%\n\n",
+			res.WA, res.EffectiveWA, 100*res.PaddingRatio)
+		fmt.Print(harness.RenderEventSummary(ts.Tracer))
+		if *series != "" {
+			fatal(writeFile(*series, func(f *os.File) error {
+				return telemetry.WriteWindowsJSONL(f, ws)
+			}))
+			fmt.Printf("wrote %d windows to %s\n", len(ws), *series)
+		}
+		if *seriesCSV != "" {
+			fatal(writeFile(*seriesCSV, func(f *os.File) error {
+				return telemetry.WriteWindowsCSV(f, ws)
+			}))
+			fmt.Printf("wrote %d windows to %s\n", len(ws), *seriesCSV)
+		}
+		if *events != "" {
+			fatal(writeFile(*events, func(f *os.File) error {
+				return ts.Tracer.WriteJSONL(f)
+			}))
+			fmt.Printf("wrote %d events to %s\n", ts.Tracer.Len(), *events)
+		}
+		if *debug != "" {
+			_, addr, err := telemetry.Serve(*debug, ts)
+			fatal(err)
+			fmt.Printf("serving telemetry on http://%s/ (metrics, events.jsonl, series.jsonl, debug/pprof); ctrl-c to exit\n", addr)
+			select {}
+		}
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

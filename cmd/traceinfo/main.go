@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"adapt"
+	"adapt/internal/stats"
 )
 
 func main() {
@@ -60,7 +61,7 @@ func main() {
 			}
 		}
 		fmt.Printf("\nvolumes: %d   median rate: %.2f req/s   under 10 req/s: %.1f%%\n",
-			len(rates), rates[len(rates)/2], 100*float64(below10)/float64(len(rates)))
+			len(rates), stats.SortedPercentile(rates, 50), 100*float64(below10)/float64(len(rates)))
 	}
 }
 

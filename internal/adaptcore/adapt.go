@@ -3,6 +3,7 @@ package adaptcore
 import (
 	"adapt/internal/lss"
 	"adapt/internal/sim"
+	"adapt/internal/telemetry"
 )
 
 // Group layout (§3.1): six groups — two user-written, four
@@ -83,6 +84,7 @@ type Policy struct {
 	agg       *aggregator
 
 	demotedUser int64
+	tracer      *telemetry.Tracer // nil-safe demotion tracing
 }
 
 // New constructs the ADAPT policy.
@@ -123,6 +125,32 @@ func New(cfg Config, opts Options) *Policy {
 	return p
 }
 
+// SetTelemetry attaches telemetry to the policy: the adaptive
+// threshold and the mechanism counters register as function-backed
+// gauges, and threshold adoptions and proactive demotions are traced.
+func (p *Policy) SetTelemetry(ts *telemetry.Set) {
+	if ts == nil {
+		p.tracer = nil
+		p.ta.tracer = nil
+		return
+	}
+	p.tracer = ts.Tracer
+	p.ta.tracer = ts.Tracer
+	reg := ts.Registry
+	reg.NewFuncGauge(telemetry.MetricAdaptThreshold,
+		"Hot/cold lifespan boundary in write-clock blocks", false,
+		func() int64 { return int64(p.ta.threshold()) })
+	reg.NewFuncGauge(telemetry.MetricAdaptAdoptions,
+		"Ghost-simulation threshold adoptions", true,
+		func() int64 { return p.ta.adoptions })
+	reg.NewFuncGauge(telemetry.MetricAdaptDemotions,
+		"User writes proactively demoted into GC groups", true,
+		func() int64 { return p.dm.demotions })
+	reg.NewFuncGauge(telemetry.MetricAdaptShadows,
+		"Chunk timeouts resolved by cross-group shadow append", true,
+		func() int64 { return p.agg.shadowGrants })
+}
+
 // Name implements lss.Policy.
 func (*Policy) Name() string { return "adapt" }
 
@@ -147,15 +175,18 @@ func (p *Policy) ShadowGrants() int64 { return p.agg.shadowGrants }
 // PlaceUser implements lss.Policy: sample for threshold adaptation,
 // try proactive demotion, then separate hot/cold by inferred lifespan
 // against the adaptive threshold.
-func (p *Policy) PlaceUser(lba int64, _ sim.Time, w sim.WriteClock) lss.GroupID {
+func (p *Policy) PlaceUser(lba int64, now sim.Time, w sim.WriteClock) lss.GroupID {
 	if !p.opts.DisableAdaptation {
-		p.ta.offer(lba)
+		p.ta.offer(lba, now)
 	}
 	prev := p.lastWrite[lba]
 	p.lastWrite[lba] = int64(w)
 	if !p.opts.DisableDemotion {
 		if g, ok := p.dm.check(lba); ok {
 			p.demotedUser++
+			if p.tracer != nil {
+				p.tracer.Emit(telemetry.Demote(now, int(g), lba))
+			}
 			return g
 		}
 	}

@@ -2,6 +2,8 @@ package adaptcore
 
 import (
 	"adapt/internal/sampling"
+	"adapt/internal/sim"
+	"adapt/internal/telemetry"
 )
 
 // thresholdAdapter implements density-aware threshold adaptation
@@ -26,6 +28,8 @@ type thresholdAdapter struct {
 	adoptEvery    int64
 	minGCs        int64
 	coldStart     bool // realThreshold still from the initial heuristic
+
+	tracer *telemetry.Tracer // nil-safe adoption tracing
 }
 
 // newThresholdAdapter sizes the adapter from store geometry.
@@ -99,7 +103,7 @@ func (ta *thresholdAdapter) buildLadder(center int64) {
 // offer feeds one user write into the sampler and ghost sets, and
 // adopts a new threshold when the simulation is trustworthy (write
 // volume over 10% of capacity, or every set's WA has stabilized).
-func (ta *thresholdAdapter) offer(lba int64) {
+func (ta *thresholdAdapter) offer(lba int64, now sim.Time) {
 	s := ta.sampler.Offer(lba)
 	if s.Sampled {
 		iv := int64(-1)
@@ -119,13 +123,13 @@ func (ta *thresholdAdapter) offer(lba int64) {
 		}
 	}
 	if settled || ta.writesSince >= ta.adoptEvery {
-		ta.adopt()
+		ta.adopt(now)
 	}
 }
 
 // adopt applies the best ghost configuration (§3.2, "updating
 // threshold configuration") and re-spans the ladder.
-func (ta *thresholdAdapter) adopt() {
+func (ta *thresholdAdapter) adopt(now sim.Time) {
 	ta.writesSince = 0
 	best, any := 0, false
 	for i, set := range ta.sets {
@@ -146,6 +150,7 @@ func (ta *thresholdAdapter) adopt() {
 	ta.realThreshold = float64(bestT) / ta.rate * ta.sampler.RawPerUnique()
 	ta.coldStart = false
 	ta.adoptions++
+	ta.tracer.Emit(telemetry.ThresholdAdapt(now, ta.realThreshold, ta.adoptions))
 
 	// Monotone WA across the ladder means the optimum lies beyond the
 	// window: keep (or return to) the exponential span to move fast.

@@ -71,7 +71,7 @@ func TestMonotoneDetection(t *testing.T) {
 func TestAdoptKeepsThresholdWithoutGCSignal(t *testing.T) {
 	ta := newTestAdapter()
 	before := ta.threshold()
-	ta.adopt() // no ghost set has run GC yet
+	ta.adopt(0) // no ghost set has run GC yet
 	if ta.threshold() != before {
 		t.Fatal("adopt moved the threshold without any GC signal")
 	}
@@ -90,7 +90,7 @@ func TestSeedInitialOnlyDuringColdStart(t *testing.T) {
 	ta.sets[1].written = 1000
 	ta.sets[1].discarded = 1
 	ta.sets[1].gcs = 1
-	ta.adopt()
+	ta.adopt(0)
 	after := ta.threshold()
 	ta.seedInitial(123456)
 	if ta.threshold() != after {
@@ -106,7 +106,7 @@ func TestAdoptPicksMinWASet(t *testing.T) {
 		set.discarded = int64(100 + 50*abs(i-2)) // minimum at rung 2
 	}
 	wantT := ta.sets[2].threshold
-	ta.adopt()
+	ta.adopt(0)
 	if ta.adoptions != 1 {
 		t.Fatalf("adoptions = %d", ta.adoptions)
 	}
@@ -124,7 +124,7 @@ func TestAdoptionAtEdgeKeepsExponentialMode(t *testing.T) {
 		set.gcs = 5
 		set.discarded = int64(1000 - 100*i) // best at the top edge
 	}
-	ta.adopt()
+	ta.adopt(0)
 	if !ta.expMode {
 		t.Fatal("edge optimum must re-span exponentially")
 	}
@@ -137,7 +137,7 @@ func TestAdoptionInteriorSwitchesToLinear(t *testing.T) {
 		set.gcs = 5
 		set.discarded = int64(100 + 200*abs(i-2)) // interior valley
 	}
-	ta.adopt()
+	ta.adopt(0)
 	if ta.expMode {
 		t.Fatal("interior non-monotone optimum must switch to linear refinement")
 	}
@@ -154,7 +154,7 @@ func TestOfferDrivesAdoption(t *testing.T) {
 		} else {
 			lba = rng.Int63n(4096)
 		}
-		ta.offer(lba)
+		ta.offer(lba, 0)
 	}
 	if ta.adoptions == 0 {
 		t.Fatal("no adoption after 50k skewed writes at rate 1")

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"adapt/internal/telemetry"
 )
 
 // runGC reclaims sealed segments until the free pool reaches the high
@@ -14,6 +16,18 @@ func (s *Store) runGC() {
 	s.inGC = true
 	defer func() { s.inGC = false }()
 	s.metrics.GCCycles++
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.GCStart(s.now, len(s.free)))
+		startReclaimed := s.metrics.SegmentsReclaimed
+		startMigrated := s.metrics.GCBlocks
+		startScanned := s.metrics.GCScannedBlocks
+		defer func() {
+			s.tracer.Emit(telemetry.GCEnd(s.now,
+				s.metrics.SegmentsReclaimed-startReclaimed,
+				s.metrics.GCBlocks-startMigrated,
+				s.metrics.GCScannedBlocks-startScanned))
+		}()
+	}
 	// Safety valve against livelock when every victim is nearly full
 	// (possible under random/windowed selection): after this many
 	// reclaims the cycle gives up and the caller may panic on true

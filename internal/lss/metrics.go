@@ -72,9 +72,15 @@ func (m *Metrics) TotalBlocks() int64 {
 	return m.UserBlocks + m.GCBlocks + m.ShadowBlocks + m.PaddingBlocks
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary covering the full traffic mix,
+// the derived ratios, GC activity, and persistence latency.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("user=%d gc=%d shadow=%d pad=%d WA=%.3f effWA=%.3f padRatio=%.3f reclaimed=%d",
+	return fmt.Sprintf("user=%d gc=%d shadow=%d pad=%d read=%d trim=%d "+
+		"WA=%.3f effWA=%.3f padRatio=%.3f gcCycles=%d reclaimed=%d scanned=%d "+
+		"latMean=%v latP99=%v latMax=%v slaViolations=%d",
 		m.UserBlocks, m.GCBlocks, m.ShadowBlocks, m.PaddingBlocks,
-		m.WA(), m.EffectiveWA(), m.PaddingRatio(), m.SegmentsReclaimed)
+		m.ReadBlocks, m.TrimmedBlocks,
+		m.WA(), m.EffectiveWA(), m.PaddingRatio(),
+		m.GCCycles, m.SegmentsReclaimed, m.GCScannedBlocks,
+		m.Latency.Mean(), m.Latency.Quantile(0.99), m.Latency.Max, m.Latency.Violations)
 }

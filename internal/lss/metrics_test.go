@@ -1,0 +1,117 @@
+package lss
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+func TestMetricsDerivedEdgeCases(t *testing.T) {
+	t.Run("zero", func(t *testing.T) {
+		var m Metrics
+		if got := m.WA(); got != 1 {
+			t.Errorf("WA of empty metrics = %v, want 1", got)
+		}
+		if got := m.EffectiveWA(); got != 1 {
+			t.Errorf("EffectiveWA of empty metrics = %v, want 1", got)
+		}
+		if got := m.PaddingRatio(); got != 0 {
+			t.Errorf("PaddingRatio of empty metrics = %v, want 0", got)
+		}
+	})
+	t.Run("padding-only", func(t *testing.T) {
+		// No user blocks but padding traffic (e.g. a drain right after
+		// recovery): the ratios must not divide by zero.
+		m := Metrics{PaddingBlocks: 48}
+		if got := m.WA(); got != 1 {
+			t.Errorf("WA = %v, want 1", got)
+		}
+		if got := m.EffectiveWA(); got != 1 {
+			t.Errorf("EffectiveWA = %v, want 1", got)
+		}
+		if got := m.PaddingRatio(); got != 1 {
+			t.Errorf("PaddingRatio = %v, want 1", got)
+		}
+	})
+	t.Run("mixed", func(t *testing.T) {
+		m := Metrics{UserBlocks: 100, GCBlocks: 50, ShadowBlocks: 10, PaddingBlocks: 40}
+		if got := m.WA(); got != 1.5 {
+			t.Errorf("WA = %v, want 1.5", got)
+		}
+		if got := m.EffectiveWA(); got != 2 {
+			t.Errorf("EffectiveWA = %v, want 2", got)
+		}
+		if got := m.PaddingRatio(); got != 0.2 {
+			t.Errorf("PaddingRatio = %v, want 0.2", got)
+		}
+		if got := m.TotalBlocks(); got != 200 {
+			t.Errorf("TotalBlocks = %v, want 200", got)
+		}
+	})
+}
+
+// TestMetricsStringRoundTrip checks String against a live run: every
+// traffic counter, GC counter, and latency figure the struct tracks
+// must appear in the rendering with its current value.
+func TestMetricsStringRoundTrip(t *testing.T) {
+	s := New(smallConfig(), twoGroup{})
+	rng := sim.NewRNG(7)
+	now := sim.Time(0)
+	for lba := int64(0); lba < 4<<10; lba++ {
+		if err := s.WriteBlock(lba, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gaps wider than SLAWindow/chunk so some chunks hit the deadline
+	// and pad, exercising every counter in the rendering.
+	for i := 0; i < 20<<10; i++ {
+		now += 60 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(4<<10), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Read(1, 3, now)
+	if err := s.Trim(10, 5, now); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain(now + sim.Second)
+	m := s.Metrics()
+	out := m.String()
+
+	want := []string{
+		f("user=%d", m.UserBlocks),
+		f("gc=%d", m.GCBlocks),
+		f("shadow=%d", m.ShadowBlocks),
+		f("pad=%d", m.PaddingBlocks),
+		f("read=%d", m.ReadBlocks),
+		f("trim=%d", m.TrimmedBlocks),
+		f("WA=%.3f", m.WA()),
+		f("effWA=%.3f", m.EffectiveWA()),
+		f("padRatio=%.3f", m.PaddingRatio()),
+		f("gcCycles=%d", m.GCCycles),
+		f("reclaimed=%d", m.SegmentsReclaimed),
+		f("scanned=%d", m.GCScannedBlocks),
+		f("latMean=%v", m.Latency.Mean()),
+		f("latP99=%v", m.Latency.Quantile(0.99)),
+		f("latMax=%v", m.Latency.Max),
+		f("slaViolations=%d", m.Latency.Violations),
+	}
+	for _, frag := range want {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, out)
+		}
+	}
+	if m.ReadBlocks != 3 {
+		t.Errorf("ReadBlocks = %d, want 3", m.ReadBlocks)
+	}
+	if m.TrimmedBlocks != 5 {
+		t.Errorf("TrimmedBlocks = %d, want 5", m.TrimmedBlocks)
+	}
+	if m.GCBlocks == 0 || m.PaddingBlocks == 0 {
+		t.Errorf("expected GC and padding traffic in stress run: %s", out)
+	}
+}

@@ -212,6 +212,10 @@ func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
 	// Rebuild the free pool and the groups' open segments.
 	for i := len(s.segments) - 1; i >= 0; i-- {
 		seg := s.segments[i]
+		if seg.state != segFree {
+			s.recoveredSegments++
+			s.recoveredBlocks += int64(seg.valid)
+		}
 		switch seg.state {
 		case segFree:
 			s.free = append(s.free, seg.id)

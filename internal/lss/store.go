@@ -6,6 +6,7 @@ import (
 
 	"adapt/internal/blockdev"
 	"adapt/internal/sim"
+	"adapt/internal/telemetry"
 )
 
 // Slot encoding in segment.lbas: values >= 0 are primary block
@@ -114,6 +115,15 @@ type Store struct {
 	// sink, when set, observes every chunk flush (the prototype routes
 	// these to simulated devices).
 	sink ChunkSink
+
+	// Telemetry hooks; all nil (no-op) until SetTelemetry.
+	tracer  *telemetry.Tracer
+	rec     *telemetry.Recorder
+	padHist *telemetry.Histogram
+	// recoveredSegments/Blocks record what Recover rebuilt, reported
+	// through the tracer when telemetry attaches to a recovered store.
+	recoveredSegments int
+	recoveredBlocks   int64
 }
 
 // ChunkWrite describes one completed chunk write: which group emitted
@@ -294,9 +304,10 @@ func (s *Store) Drain(now sim.Time) {
 	s.advance(now)
 	for _, gr := range s.groups {
 		if s.pending(gr) > 0 {
-			s.padFlush(gr, nil, s.now)
+			s.padFlush(gr, nil, s.now, telemetry.FlushDrain)
 		}
 	}
+	s.rec.Finish(s.now)
 }
 
 // unpersistedLBAs returns the block addresses held by gr's
@@ -343,6 +354,7 @@ func (s *Store) advance(now sim.Time) {
 	if now > s.now {
 		s.now = now
 	}
+	s.rec.TickTo(s.now)
 	for {
 		var next *group
 		for _, gr := range s.groups {
@@ -375,7 +387,7 @@ func (s *Store) handleTimeout(gr *group) {
 		}
 		// Shadow target unusable; fall back to padding.
 	}
-	s.padFlush(gr, act.Donors, deadline)
+	s.padFlush(gr, act.Donors, deadline, telemetry.FlushSLA)
 }
 
 // snapshot fills and returns per-group state for advisor decisions.
@@ -433,15 +445,16 @@ func (s *Store) shadowInto(gr *group, target GroupID, at sim.Time) bool {
 	// The shadow copies (and any target-pending blocks) must be durable
 	// now: flush the target chunk, padding any remainder.
 	if s.pending(tg) > 0 {
-		s.padFlush(tg, nil, at)
+		s.padFlush(tg, nil, at, telemetry.FlushShadow)
 	}
 	return true
 }
 
 // padFlush flushes gr's open chunk. Donor groups may contribute their
 // unpersisted pending blocks as shadow copies to fill would-be padding
-// space (all-or-nothing per donor); the rest is zero padding.
-func (s *Store) padFlush(gr *group, donors []GroupID, at sim.Time) {
+// space (all-or-nothing per donor); the rest is zero padding. why is
+// recorded with the telemetry pad-flush event.
+func (s *Store) padFlush(gr *group, donors []GroupID, at sim.Time, why telemetry.FlushReason) {
 	p := s.pending(gr)
 	if p == 0 {
 		return
@@ -484,6 +497,9 @@ func (s *Store) padFlush(gr *group, donors []GroupID, at sim.Time) {
 	gm.PaddingBlocks += int64(pad)
 	gm.PaddingEvents++
 	s.metrics.PaddingBlocks += int64(pad)
+	if s.tracer != nil && pad > 0 {
+		s.tracer.Emit(telemetry.PadFlush(at, int(gr.id), pad, why))
+	}
 	s.flushChunk(gr, pad, at)
 	if seg.written == s.segBlocks {
 		s.seal(gr)
@@ -497,6 +513,11 @@ func (s *Store) flushChunk(gr *group, padBlocks int, at sim.Time) {
 	payload := int64(s.chunkBlocks-padBlocks) * s.blockBytes
 	s.array.WriteChunk(payload, int64(padBlocks)*s.blockBytes)
 	s.metrics.PerGroup[gr.id].ChunkFlushes++
+	s.padHist.Observe(int64(padBlocks))
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.ChunkFlush(at, int(gr.id), gr.open.id,
+			gr.open.written/s.chunkBlocks-1, s.chunkBlocks-padBlocks, padBlocks))
+	}
 	if s.sink != nil {
 		s.sink(ChunkWrite{
 			Group:        gr.id,
@@ -605,4 +626,7 @@ func (s *Store) seal(gr *group) {
 	seg.sealedW = s.w
 	gr.open = nil
 	s.metrics.PerGroup[gr.id].Sealed++
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.SegmentSeal(s.now, int(gr.id), seg.id, seg.valid))
+	}
 }

@@ -1,0 +1,78 @@
+package lss
+
+import (
+	"fmt"
+
+	"adapt/internal/telemetry"
+)
+
+// SetTelemetry attaches a telemetry set to the store: canonical store
+// metrics register as function-backed gauges over the live Metrics
+// (zero hot-path cost), the recorder begins ticking on the store's
+// simulated clock inside advance, and the tracer receives GC, seal,
+// flush, and padding events. Pass nil to detach the recorder and
+// tracer (registered gauges keep serving their last refreshed value).
+//
+// Attach at most one set per store, before concurrent use begins; the
+// function gauges read store state and are refreshed only at recorder
+// ticks, which run under the caller's store lock.
+func (s *Store) SetTelemetry(ts *telemetry.Set) {
+	if ts == nil {
+		s.tracer = nil
+		s.rec = nil
+		s.padHist = nil
+		return
+	}
+	s.tracer = ts.Tracer
+	s.rec = ts.Recorder
+	reg := ts.Registry
+
+	type cum struct {
+		name, help string
+		fn         func() int64
+	}
+	for _, c := range []cum{
+		{telemetry.MetricUserBlocks, "User blocks accepted", func() int64 { return s.metrics.UserBlocks }},
+		{telemetry.MetricGCBlocks, "Valid blocks rewritten by GC", func() int64 { return s.metrics.GCBlocks }},
+		{telemetry.MetricShadowBlocks, "Shadow copies written", func() int64 { return s.metrics.ShadowBlocks }},
+		{telemetry.MetricPaddingBlocks, "Zero-padding blocks written", func() int64 { return s.metrics.PaddingBlocks }},
+		{telemetry.MetricReadBlocks, "User blocks read", func() int64 { return s.metrics.ReadBlocks }},
+		{telemetry.MetricTrimmedBlocks, "Blocks discarded via Trim", func() int64 { return s.metrics.TrimmedBlocks }},
+		{telemetry.MetricGCCycles, "GC activations", func() int64 { return s.metrics.GCCycles }},
+		{telemetry.MetricSegmentsReclaimed, "Segments reclaimed by GC", func() int64 { return s.metrics.SegmentsReclaimed }},
+		{telemetry.MetricGCScanned, "Slots examined during victim scans", func() int64 { return s.metrics.GCScannedBlocks }},
+		{telemetry.MetricSLAViolations, "Persistence latencies beyond the SLA window", func() int64 { return s.metrics.Latency.Violations }},
+		{telemetry.MetricChunkFlushes, "Chunk writes issued to the array", func() int64 {
+			var n int64
+			for i := range s.metrics.PerGroup {
+				n += s.metrics.PerGroup[i].ChunkFlushes
+			}
+			return n
+		}},
+	} {
+		reg.NewFuncGauge(c.name, c.help, true, c.fn)
+	}
+	reg.NewFuncGauge(telemetry.MetricFreeSegments, "Free segments in the pool", false,
+		func() int64 { return int64(len(s.free)) })
+	for i := range s.groups {
+		i := i
+		reg.NewFuncGauge(
+			fmt.Sprintf("%s{group=\"%d\"}", telemetry.MetricGroupBlocksPrefix, i),
+			"Block slots written into the group", true,
+			func() int64 { return s.metrics.PerGroup[i].TotalBlocks() })
+		reg.NewFuncGauge(
+			fmt.Sprintf("lss_group_padding_blocks_total{group=\"%d\"}", i),
+			"Zero-padding block slots written into the group", true,
+			func() int64 { return s.metrics.PerGroup[i].PaddingBlocks })
+	}
+	bounds := []int64{0, 1, 2, 4, 8}
+	if last := int64(s.chunkBlocks); last > bounds[len(bounds)-1] {
+		bounds = append(bounds, last)
+	}
+	s.padHist = reg.NewHistogram("lss_chunk_pad_blocks",
+		"Padding blocks per chunk flush", bounds)
+
+	if s.recoveredSegments > 0 {
+		s.tracer.Emit(telemetry.Recovery(s.now, s.recoveredSegments, s.recoveredBlocks))
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"adapt/internal/lss"
 	"adapt/internal/sim"
+	"adapt/internal/telemetry"
 	"adapt/internal/workload"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	QueueDepth int
 	// Seed drives the zipfian streams.
 	Seed uint64
+	// Telemetry, when set, attaches live instrumentation: the store's
+	// canonical metrics and events, plus per-device busy time, queue
+	// depth, and chunk counters. The recorder windows on the run's
+	// wall-derived clock (time since start). Nil disables telemetry at
+	// zero hot-path cost.
+	Telemetry *telemetry.Set
 }
 
 // Result summarizes a prototype run.
@@ -77,6 +84,10 @@ type chunkJob struct {
 type device struct {
 	ch      chan chunkJob
 	written int64
+
+	// Telemetry instruments; nil (no-op) when telemetry is disabled.
+	busyNS *telemetry.Counter
+	chunks *telemetry.Counter
 }
 
 // Run executes the prototype experiment.
@@ -103,6 +114,27 @@ func Run(cfg Config) (Result, error) {
 	for i := range devices {
 		devices[i] = &device{ch: make(chan chunkJob, cfg.QueueDepth)}
 	}
+	if ts := cfg.Telemetry; ts != nil {
+		store.SetTelemetry(ts)
+		if p, ok := cfg.Policy.(interface {
+			SetTelemetry(*telemetry.Set)
+		}); ok {
+			p.SetTelemetry(ts)
+		}
+		for i, d := range devices {
+			d.busyNS = ts.Registry.NewCounter(
+				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceBusyPrefix, i),
+				"Modelled device service time consumed")
+			d.chunks = ts.Registry.NewCounter(
+				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceChunksPrefix, i),
+				"Chunk operations serviced")
+			ch := d.ch
+			ts.Registry.NewFuncGauge(
+				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceQueuePrefix, i),
+				"Queued chunk operations", false,
+				func() int64 { return int64(len(ch)) })
+		}
+	}
 	start := time.Now()
 	var devWG sync.WaitGroup
 	for _, d := range devices {
@@ -113,9 +145,12 @@ func Run(cfg Config) (Result, error) {
 			for job := range d.ch {
 				if job.read {
 					virtual += cfg.ReadServiceTime
+					d.busyNS.Add(int64(cfg.ReadServiceTime))
 				} else {
 					virtual += cfg.ServiceTime
+					d.busyNS.Add(int64(cfg.ServiceTime))
 				}
+				d.chunks.Inc()
 				d.written++
 				// Throttle to the modelled bandwidth, sleeping only
 				// when the debt is large enough for the OS timer.

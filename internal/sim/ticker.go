@@ -1,0 +1,39 @@
+package sim
+
+// Ticker generates fixed-interval deadlines on the simulated clock. It
+// is the virtual-time analogue of time.Ticker for code that must fire
+// at regular boundaries of a trace replay (the telemetry recorder's
+// window grid). The zero Ticker is unusable; construct with NewTicker.
+type Ticker struct {
+	next  Time
+	every Time
+}
+
+// NewTicker returns a ticker whose first deadline is start+every.
+func NewTicker(start, every Time) Ticker {
+	if every <= 0 {
+		every = 1
+	}
+	return Ticker{next: start + every, every: every}
+}
+
+// Due reports whether the next deadline has been reached at now.
+func (t *Ticker) Due(now Time) bool { return now >= t.next }
+
+// Next returns the pending deadline.
+func (t *Ticker) Next() Time { return t.next }
+
+// Every returns the interval.
+func (t *Ticker) Every() Time { return t.every }
+
+// Advance moves to the immediately following deadline.
+func (t *Ticker) Advance() { t.next += t.every }
+
+// FastForward skips deadlines so that the pending one is the first
+// boundary strictly after now, preserving grid alignment. A no-op when
+// the pending deadline is already in the future.
+func (t *Ticker) FastForward(now Time) {
+	if now >= t.next {
+		t.next += ((now-t.next)/t.every + 1) * t.every
+	}
+}

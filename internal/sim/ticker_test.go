@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+func TestTickerBasics(t *testing.T) {
+	tk := NewTicker(0, 10)
+	if tk.Next() != 10 || tk.Every() != 10 {
+		t.Fatalf("next=%v every=%v, want 10/10", tk.Next(), tk.Every())
+	}
+	if tk.Due(9) {
+		t.Fatal("due before first deadline")
+	}
+	if !tk.Due(10) {
+		t.Fatal("not due at the deadline")
+	}
+	tk.Advance()
+	if tk.Next() != 20 {
+		t.Fatalf("next after advance = %v, want 20", tk.Next())
+	}
+}
+
+func TestTickerFastForward(t *testing.T) {
+	tk := NewTicker(0, 10)
+	tk.FastForward(57)
+	// The next deadline must be the smallest grid boundary strictly
+	// after now, keeping boundaries multiples of the interval.
+	if tk.Next() != 60 {
+		t.Fatalf("next = %v, want 60", tk.Next())
+	}
+	tk.FastForward(59) // not due: no change
+	if tk.Next() != 60 {
+		t.Fatalf("next = %v after idle fast-forward, want 60", tk.Next())
+	}
+	tk.FastForward(60) // exactly on the boundary: move past it
+	if tk.Next() != 70 {
+		t.Fatalf("next = %v, want 70", tk.Next())
+	}
+}
+
+func TestTickerNonZeroStart(t *testing.T) {
+	tk := NewTicker(100, 25)
+	if tk.Next() != 125 {
+		t.Fatalf("next = %v, want 125", tk.Next())
+	}
+	tk.FastForward(1000)
+	if tk.Next() != 1025 {
+		t.Fatalf("next = %v, want 1025 (grid anchored at 100)", tk.Next())
+	}
+}

@@ -13,12 +13,23 @@ import (
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It returns NaN for empty input.
+// It copies and sorts; callers that already hold sorted data should
+// use SortedPercentile.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return SortedPercentile(s, p)
+}
+
+// SortedPercentile is Percentile over already-sorted input: no copy,
+// no sort, O(1). The caller must have sorted s ascending.
+func SortedPercentile(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return s[0]
 	}
@@ -67,18 +78,21 @@ type FiveNum struct {
 	Outliers                 []float64 // beyond 1.5×IQR whiskers
 }
 
-// Summarize computes the boxplot summary of xs.
+// Summarize computes the boxplot summary of xs. It sorts a copy once
+// and takes every quartile from it via SortedPercentile.
 func Summarize(xs []float64) FiveNum {
 	if len(xs) == 0 {
 		nan := math.NaN()
 		return FiveNum{nan, nan, nan, nan, nan, nil}
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
 	f := FiveNum{
-		Min:    Percentile(xs, 0),
-		Q1:     Percentile(xs, 25),
-		Median: Percentile(xs, 50),
-		Q3:     Percentile(xs, 75),
-		Max:    Percentile(xs, 100),
+		Min:    s[0],
+		Q1:     SortedPercentile(s, 25),
+		Median: SortedPercentile(s, 50),
+		Q3:     SortedPercentile(s, 75),
+		Max:    s[len(s)-1],
 	}
 	iqr := f.Q3 - f.Q1
 	lo, hi := f.Q1-1.5*iqr, f.Q3+1.5*iqr

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"adapt/internal/sim"
+)
+
+// EventType identifies a traced event.
+type EventType uint8
+
+// Event types emitted by the store, the ADAPT policy, and recovery.
+const (
+	EvGCStart        EventType = 1 + iota // GC cycle begins; Free = free segments
+	EvGCEnd                               // GC cycle ends; Reclaimed/Migrated/Scanned victim stats
+	EvSegmentSeal                         // segment sealed; Valid = live blocks at seal
+	EvChunkFlush                          // chunk flushed; Payload/Pad block counts
+	EvPadFlush                            // padded flush; Pad blocks + Reason
+	EvThresholdAdapt                      // ADAPT adopted a new hot/cold threshold
+	EvDemote                              // ADAPT proactively demoted a user write
+	EvRecovery                            // store rebuilt from a checkpoint
+)
+
+// String returns the JSONL type tag.
+func (t EventType) String() string {
+	switch t {
+	case EvGCStart:
+		return "gc_start"
+	case EvGCEnd:
+		return "gc_end"
+	case EvSegmentSeal:
+		return "segment_seal"
+	case EvChunkFlush:
+		return "chunk_flush"
+	case EvPadFlush:
+		return "pad_flush"
+	case EvThresholdAdapt:
+		return "threshold_adapt"
+	case EvDemote:
+		return "demote"
+	case EvRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// FlushReason says why a padded flush happened.
+type FlushReason uint8
+
+// Padded-flush reasons.
+const (
+	FlushSLA    FlushReason = iota // SLA deadline expired
+	FlushShadow                    // target flush of a shadow append
+	FlushDrain                     // end-of-run drain
+)
+
+// String returns the JSONL reason tag.
+func (f FlushReason) String() string {
+	switch f {
+	case FlushSLA:
+		return "sla"
+	case FlushShadow:
+		return "shadow"
+	case FlushDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("reason(%d)", int(f))
+	}
+}
+
+// Event is one traced occurrence. The struct is flat and fixed-size so
+// the tracer ring never allocates; fields beyond Seq/Time/Type are
+// typed per event (see the constructors) and zero when unused.
+type Event struct {
+	Seq  int64
+	Time sim.Time
+	Type EventType
+
+	Group   int32
+	Segment int32
+	A, B, C int64
+	F       float64
+}
+
+// GCStart traces the beginning of a GC cycle.
+func GCStart(now sim.Time, freeSegments int) Event {
+	return Event{Time: now, Type: EvGCStart, A: int64(freeSegments)}
+}
+
+// GCEnd traces the end of a GC cycle with its victim statistics.
+func GCEnd(now sim.Time, reclaimed, migrated, scanned int64) Event {
+	return Event{Time: now, Type: EvGCEnd, A: reclaimed, B: migrated, C: scanned}
+}
+
+// SegmentSeal traces a segment seal.
+func SegmentSeal(now sim.Time, group, segment, valid int) Event {
+	return Event{Time: now, Type: EvSegmentSeal, Group: int32(group), Segment: int32(segment), A: int64(valid)}
+}
+
+// ChunkFlush traces one chunk write with its padding share.
+func ChunkFlush(now sim.Time, group, segment, chunk int, payloadBlocks, padBlocks int) Event {
+	return Event{Time: now, Type: EvChunkFlush, Group: int32(group), Segment: int32(segment),
+		A: int64(chunk), B: int64(payloadBlocks), C: int64(padBlocks)}
+}
+
+// PadFlush traces a padded (partial-chunk) flush and why it happened.
+func PadFlush(now sim.Time, group, padBlocks int, reason FlushReason) Event {
+	return Event{Time: now, Type: EvPadFlush, Group: int32(group), A: int64(padBlocks), B: int64(reason)}
+}
+
+// ThresholdAdapt traces an ADAPT threshold adoption.
+func ThresholdAdapt(now sim.Time, threshold float64, adoptions int64) Event {
+	return Event{Time: now, Type: EvThresholdAdapt, F: threshold, A: adoptions}
+}
+
+// Demote traces a proactive demotion of a user write into a GC group.
+func Demote(now sim.Time, group int, lba int64) Event {
+	return Event{Time: now, Type: EvDemote, Group: int32(group), A: lba}
+}
+
+// Recovery traces a store rebuild from a checkpoint.
+func Recovery(now sim.Time, segments int, liveBlocks int64) Event {
+	return Event{Time: now, Type: EvRecovery, A: int64(segments), B: liveBlocks}
+}
+
+// Tracer is a bounded ring buffer of events. Emit is mutex-guarded and
+// allocation-free; when the ring is full the oldest events are
+// overwritten.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	seq     int64
+	dropped int64
+}
+
+// NewTracer creates a tracer holding up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit records an event, assigning its sequence number. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.buf[t.seq%int64(len(t.buf))] = e
+	t.seq++
+	if t.seq > int64(len(t.buf)) {
+		t.dropped = t.seq - int64(len(t.buf))
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	if n > int64(len(t.buf)) {
+		n = int64(len(t.buf))
+	}
+	return int(n)
+}
+
+// Dropped returns how many events were overwritten by the ring bound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	first := int64(0)
+	if n > int64(len(t.buf)) {
+		first = n - int64(len(t.buf))
+	}
+	out := make([]Event, 0, n-first)
+	for s := first; s < n; s++ {
+		out = append(out, t.buf[s%int64(len(t.buf))])
+	}
+	return out
+}
+
+// WriteJSONL writes the buffered events as one JSON object per line,
+// with per-type field names matching the documented event schema.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Events() {
+		if err := writeEventJSON(bw, e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeEventJSON(w io.Writer, e Event) error {
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p(`{"seq":%d,"t_ns":%d,"type":%q`, e.Seq, int64(e.Time), e.Type.String())
+	switch e.Type {
+	case EvGCStart:
+		p(`,"free_segments":%d`, e.A)
+	case EvGCEnd:
+		p(`,"reclaimed":%d,"migrated":%d,"scanned":%d`, e.A, e.B, e.C)
+	case EvSegmentSeal:
+		p(`,"group":%d,"segment":%d,"valid":%d`, e.Group, e.Segment, e.A)
+	case EvChunkFlush:
+		p(`,"group":%d,"segment":%d,"chunk":%d,"payload_blocks":%d,"pad_blocks":%d`,
+			e.Group, e.Segment, e.A, e.B, e.C)
+	case EvPadFlush:
+		p(`,"group":%d,"pad_blocks":%d,"reason":%q`, e.Group, e.A, FlushReason(e.B).String())
+	case EvThresholdAdapt:
+		p(`,"threshold":%g,"adoptions":%d`, e.F, e.A)
+	case EvDemote:
+		p(`,"group":%d,"lba":%d`, e.Group, e.A)
+	case EvRecovery:
+		p(`,"segments":%d,"live_blocks":%d`, e.A, e.B)
+	default:
+		p(`,"group":%d,"segment":%d,"a":%d,"b":%d,"c":%d,"f":%g`,
+			e.Group, e.Segment, e.A, e.B, e.C, e.F)
+	}
+	p("}\n")
+	return err
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"sync"
+
+	"adapt/internal/sim"
+)
+
+// Canonical metric names the store and prototype register, which the
+// per-window derivations and exporters key on. Per-group and
+// per-device families embed their index as a {label="N"} suffix.
+const (
+	MetricUserBlocks        = "lss_user_blocks_total"
+	MetricGCBlocks          = "lss_gc_blocks_total"
+	MetricShadowBlocks      = "lss_shadow_blocks_total"
+	MetricPaddingBlocks     = "lss_padding_blocks_total"
+	MetricReadBlocks        = "lss_read_blocks_total"
+	MetricTrimmedBlocks     = "lss_trimmed_blocks_total"
+	MetricGCCycles          = "lss_gc_cycles_total"
+	MetricSegmentsReclaimed = "lss_segments_reclaimed_total"
+	MetricGCScanned         = "lss_gc_scanned_blocks_total"
+	MetricChunkFlushes      = "lss_chunk_flushes_total"
+	MetricFreeSegments      = "lss_free_segments"
+	MetricSLAViolations     = "lss_sla_violations_total"
+
+	// MetricGroupBlocksPrefix is the per-group total-traffic family:
+	// lss_group_blocks_total{group="N"}.
+	MetricGroupBlocksPrefix = "lss_group_blocks_total"
+	// MetricDeviceBusyPrefix is the prototype's per-device busy-time
+	// family: proto_device_busy_ns_total{device="N"}.
+	MetricDeviceBusyPrefix = "proto_device_busy_ns_total"
+	// MetricDeviceQueuePrefix is the per-device queue-depth family.
+	MetricDeviceQueuePrefix = "proto_device_queue_depth"
+	// MetricDeviceChunksPrefix is the per-device chunk-count family.
+	MetricDeviceChunksPrefix = "proto_device_chunks_total"
+
+	MetricAdaptThreshold = "adapt_threshold_blocks"
+	MetricAdaptAdoptions = "adapt_threshold_adoptions_total"
+	MetricAdaptDemotions = "adapt_demotions_total"
+	MetricAdaptShadows   = "adapt_shadow_grants_total"
+)
+
+// Window is one closed time-series window: the cumulative value of
+// every scalar instrument at the window end, plus the change across
+// the window (for gauges the "delta" is the end-of-window sample).
+// Names, Values, and Deltas are parallel; Names shares backing with
+// the recorder and must be treated as read-only.
+type Window struct {
+	Index int64    `json:"window"`
+	Start sim.Time `json:"start_ns"`
+	End   sim.Time `json:"end_ns"`
+
+	Names  []string `json:"-"`
+	Values []int64  `json:"-"`
+	Deltas []int64  `json:"-"`
+}
+
+// Value returns the cumulative value of a metric at the window end.
+func (w *Window) Value(name string) (int64, bool) {
+	for i, n := range w.Names {
+		if n == name {
+			return w.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Delta returns the metric's change across the window (the sampled
+// value for gauges).
+func (w *Window) Delta(name string) (int64, bool) {
+	for i, n := range w.Names {
+		if n == name {
+			return w.Deltas[i], true
+		}
+	}
+	return 0, false
+}
+
+// Duration returns the window width.
+func (w *Window) Duration() sim.Time { return w.End - w.Start }
+
+// Recorder snapshots every scalar instrument of a registry at a fixed
+// interval of simulated time and keeps a bounded ring of windows.
+//
+// TickTo must be called from the single thread that owns the
+// instrumented state (the store calls it inside advance, under the
+// store lock in concurrent use); Windows and the exporters may be
+// called concurrently with ticking.
+type Recorder struct {
+	reg      *Registry
+	interval sim.Time
+	max      int
+
+	mu       sync.Mutex
+	ticker   sim.Ticker
+	started  bool
+	index    int64
+	scalars  []Instrument
+	names    []string
+	prev     []int64
+	windows  []Window
+	dropped  int64
+	finished bool
+}
+
+// NewRecorder creates a recorder over reg with the given window width
+// and history bound.
+func NewRecorder(reg *Registry, interval sim.Time, maxWindows int) *Recorder {
+	if interval <= 0 {
+		interval = 10 * sim.Millisecond
+	}
+	if maxWindows <= 0 {
+		maxWindows = 4096
+	}
+	return &Recorder{reg: reg, interval: interval, max: maxWindows}
+}
+
+// Interval returns the window width.
+func (r *Recorder) Interval() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// TickTo advances the recorder to the current simulated time, closing
+// any window whose boundary has passed. Nil-safe; the fast path when
+// no boundary passed is one comparison.
+func (r *Recorder) TickTo(now sim.Time) {
+	if r == nil {
+		return
+	}
+	if r.started && !r.ticker.Due(now) {
+		return
+	}
+	r.tick(now)
+}
+
+func (r *Recorder) tick(now sim.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		// The first event anchors the window grid at time zero so that
+		// window boundaries are multiples of the interval.
+		r.ticker = sim.NewTicker(0, r.interval)
+		r.ticker.FastForward(now)
+		r.started = true
+		return
+	}
+	if !r.ticker.Due(now) {
+		return // another caller closed the boundary first
+	}
+	// All activity since the previous snapshot lands in the first
+	// window being closed; later elapsed windows would be empty, so the
+	// ticker fast-forwards over them instead of emitting zeros.
+	end := r.ticker.Next()
+	r.close(end)
+	r.ticker.Advance()
+	r.ticker.FastForward(now)
+}
+
+// Finish closes the partial window ending at now, capturing tail
+// activity after the last boundary. Call once when a run completes
+// (Store.Drain does). Nil-safe and idempotent for an unchanged clock.
+func (r *Recorder) Finish(now sim.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		r.ticker = sim.NewTicker(0, r.interval)
+		r.started = true
+	}
+	if r.ticker.Due(now) {
+		r.close(r.ticker.Next())
+		r.ticker.Advance()
+		r.ticker.FastForward(now)
+	}
+	if len(r.windows) > 0 && now <= r.windows[len(r.windows)-1].End {
+		return
+	}
+	if now <= 0 {
+		return
+	}
+	r.close(now)
+}
+
+// close snapshots the registry and appends the window ending at end.
+// Caller holds r.mu.
+func (r *Recorder) close(end sim.Time) {
+	r.reg.Refresh()
+	scalars := r.reg.Scalars()
+	// Instruments register append-only, so a longer list extends the
+	// previous one; new instruments delta from zero.
+	if len(scalars) > len(r.scalars) {
+		for _, in := range scalars[len(r.scalars):] {
+			r.names = append(r.names, in.Name())
+			r.prev = append(r.prev, 0)
+		}
+		r.scalars = scalars
+	}
+	start := r.ticker.Next() - r.interval
+	if len(r.windows) > 0 && r.windows[len(r.windows)-1].End > start {
+		start = r.windows[len(r.windows)-1].End
+	}
+	w := Window{
+		Index:  r.index,
+		Start:  start,
+		End:    end,
+		Names:  r.names[:len(r.scalars)],
+		Values: make([]int64, len(r.scalars)),
+		Deltas: make([]int64, len(r.scalars)),
+	}
+	for i, in := range r.scalars {
+		v := in.Load()
+		w.Values[i] = v
+		if in.Cumulative() {
+			w.Deltas[i] = v - r.prev[i]
+		} else {
+			w.Deltas[i] = v
+		}
+		r.prev[i] = v
+	}
+	r.index++
+	r.windows = append(r.windows, w)
+	if len(r.windows) > r.max {
+		n := copy(r.windows, r.windows[len(r.windows)-r.max:])
+		r.windows = r.windows[:n]
+		r.dropped++
+	}
+}
+
+// Windows returns the recorded windows, oldest first.
+func (r *Recorder) Windows() []Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Window(nil), r.windows...)
+}
+
+// Dropped returns how many windows were evicted by the history bound.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

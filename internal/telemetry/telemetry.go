@@ -1,0 +1,69 @@
+// Package telemetry is the low-overhead instrumentation layer shared
+// by the trace-driven simulator, the concurrent prototype, and the
+// experiment harness. It has three cooperating pieces:
+//
+//   - A Registry of named instruments: atomic counters and gauges,
+//     function-backed gauges that read owner state at snapshot time,
+//     and fixed-bucket histograms. The registry renders Prometheus-style
+//     text exposition for live scraping.
+//   - A windowed time-series Recorder that snapshots every scalar
+//     instrument at a configurable interval of simulated time (virtual
+//     time in the simulator, wall-derived time in the prototype) and
+//     keeps a bounded history of per-window deltas, from which
+//     per-window WA, effective WA, padding ratio, GC-cycle rate, and
+//     per-group/per-device utilization derive.
+//   - A bounded ring-buffer Tracer of typed events (GC cycles, segment
+//     seals, chunk flushes, threshold adaptations, demotions, SLA
+//     padding flushes) with JSONL export.
+//
+// Every hook is nil-safe: a nil *Recorder, *Tracer, or *Histogram is a
+// no-op, so instrumented hot paths cost one nil check and zero
+// allocations when telemetry is disabled.
+//
+// Concurrency contract: ticking the Recorder and refreshing
+// function-backed gauges must be serialized with the owner whose state
+// the functions read (the store does both under its own lock, inside
+// advance). Counters, gauges, exports, and the HTTP handler are safe
+// for concurrent use; function gauges serve the value cached at the
+// last refresh.
+package telemetry
+
+import "adapt/internal/sim"
+
+// Options configures a telemetry Set. Zero fields take defaults.
+type Options struct {
+	// WindowInterval is the time-series window width in simulated time
+	// (default 10 ms).
+	WindowInterval sim.Time
+	// MaxWindows bounds the recorder history; the oldest windows are
+	// dropped first (default 4096).
+	MaxWindows int
+	// EventCapacity bounds the tracer ring buffer (default 4096).
+	EventCapacity int
+}
+
+// Set bundles the three telemetry components over one shared registry.
+type Set struct {
+	Registry *Registry
+	Recorder *Recorder
+	Tracer   *Tracer
+}
+
+// New builds a telemetry set with the given options.
+func New(opts Options) *Set {
+	if opts.WindowInterval <= 0 {
+		opts.WindowInterval = 10 * sim.Millisecond
+	}
+	if opts.MaxWindows <= 0 {
+		opts.MaxWindows = 4096
+	}
+	if opts.EventCapacity <= 0 {
+		opts.EventCapacity = 4096
+	}
+	reg := NewRegistry()
+	return &Set{
+		Registry: reg,
+		Recorder: NewRecorder(reg, opts.WindowInterval, opts.MaxWindows),
+		Tracer:   NewTracer(opts.EventCapacity),
+	}
+}
