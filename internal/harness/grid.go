@@ -65,32 +65,43 @@ func RunGrid(sc Scale, profiles []workload.Profile, victims []lss.VictimPolicy, 
 	if workers < 1 {
 		workers = 1
 	}
-	jobCh := make(chan job)
+	// The channel is buffered with every job up front (no feeder
+	// goroutine to block), so when a cell fails the remaining workers
+	// drain their current job and stop at done — the error surfaces
+	// promptly instead of after the whole grid.
+	jobCh := make(chan job, len(jobs))
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
 	errCh := make(chan error, len(jobs))
+	done := make(chan struct{})
+	var stop sync.Once
 	var wg sync.WaitGroup
-	var mu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				tr := j.vol.Generate()
-				res, err := RunTrace(j.policy, tr, j.vol.FootprintBlocks, j.victim)
+				res, err := runTraceFn(j.policy, tr, j.vol.FootprintBlocks, j.victim)
 				if err != nil {
 					errCh <- fmt.Errorf("%s/%s/%s vol %d: %w",
 						j.profile, j.victim, j.policy, j.volIdx, err)
-					continue
+					stop.Do(func() { close(done) })
+					return
 				}
-				mu.Lock()
+				// Each job owns its Runs[p][v][pol][volIdx] slot
+				// exclusively, so results are stored without locking.
 				g.Runs[j.profile][j.victim][j.policy][j.volIdx] = res
-				mu.Unlock()
 			}
 		}()
 	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
 	wg.Wait()
 	close(errCh)
 	for err := range errCh {
@@ -98,6 +109,10 @@ func RunGrid(sc Scale, profiles []workload.Profile, victims []lss.VictimPolicy, 
 	}
 	return g, nil
 }
+
+// runTraceFn is RunTrace, swappable by tests to verify RunGrid's
+// early-abort behavior.
+var runTraceFn = RunTrace
 
 // OverallWA aggregates a policy's write amplification across a suite
 // as total array block traffic (user + GC rewrites + shadow copies +

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adapt/internal/lss"
+	"adapt/internal/trace"
+	"adapt/internal/workload"
+)
+
+// TestRunGridAbortsPromptlyOnError: a failing cell must stop the grid
+// after at most the jobs already in flight, not after every remaining
+// job has run (the old unbuffered feed kept pushing jobs to workers
+// until the queue drained).
+func TestRunGridAbortsPromptlyOnError(t *testing.T) {
+	orig := runTraceFn
+	defer func() { runTraceFn = orig }()
+	var calls atomic.Int64
+	runTraceFn = func(policy string, tr *trace.Trace, userBlocks int64, victim lss.VictimPolicy) (RunResult, error) {
+		if calls.Add(1) == 1 {
+			return RunResult{}, errors.New("injected failure")
+		}
+		time.Sleep(2 * time.Millisecond)
+		return RunResult{}, nil
+	}
+	sc := tinyScale()
+	sc.Volumes = 8
+	victims := []lss.VictimPolicy{lss.Greedy, lss.CostBenefit, lss.DChoices, lss.WindowedGreedy, lss.RandomGreedy}
+	policies := []string{"sepgc", "mida", "sepbit", PolicyADAPT}
+	jobs := int64(sc.Volumes * len(victims) * len(policies))
+	_, err := RunGrid(sc, []workload.Profile{workload.ProfileAli}, victims, policies)
+	if err == nil {
+		t.Fatal("failing cell did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	workers := int64(runtime.NumCPU())
+	if workers > jobs {
+		workers = jobs
+	}
+	// The failing call is the first to run; every other worker can have
+	// at most one job in flight when the abort lands, plus a narrow
+	// window to grab one more before observing done.
+	if got := calls.Load(); got > 2*workers {
+		t.Fatalf("grid ran %d jobs after an early failure (%d workers, %d jobs total)", got, workers, jobs)
+	}
+}
+
+// TestRunGridStoresEveryCell guards the lock-free result stores: every
+// slot of the grid must be filled after a clean run.
+func TestRunGridStoresEveryCell(t *testing.T) {
+	sc := tinyScale()
+	grid, err := RunGrid(sc,
+		[]workload.Profile{workload.ProfileMSRC},
+		[]lss.VictimPolicy{lss.Greedy},
+		[]string{"sepgc", PolicyADAPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []string{"sepgc", PolicyADAPT} {
+		runs := grid.Runs[workload.ProfileMSRC][lss.Greedy][pol]
+		if len(runs) != sc.Volumes {
+			t.Fatalf("%s: %d runs, want %d", pol, len(runs), sc.Volumes)
+		}
+		for i, r := range runs {
+			if r.UserBlocks == 0 {
+				t.Fatalf("%s volume %d never stored a result", pol, i)
+			}
+		}
+	}
+}

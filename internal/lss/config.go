@@ -82,6 +82,12 @@ type Config struct {
 	// GCHighWater is where a GC cycle stops. Zero means derived
 	// defaults.
 	GCLowWater, GCHighWater int
+	// LegacyVictimScan selects the reference scan-and-sort victim
+	// selector instead of the incremental victim index. The two produce
+	// identical victim sequences for the deterministic policies; the
+	// scan rescans every segment per GC cycle and exists for
+	// differential tests and benchmarks.
+	LegacyVictimScan bool
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults and

@@ -65,20 +65,64 @@ func (s *Store) runGC() {
 	}
 }
 
-// selectVictims scans sealed segments once and returns up to n victims
-// ordered best-first according to the victim policy. Segments with no
-// garbage are never selected (reclaiming them cannot make progress).
-func (s *Store) selectVictims(n int) []*segment {
-	type scored struct {
-		seg   *segment
-		score float64
+// victimBetter is the canonical victim order used by both selection
+// paths: higher score first, then oldest seal clock, then lowest id.
+// The deterministic tie-break makes the scan and the index produce
+// byte-identical victim sequences for the deterministic policies.
+func victimBetter(sa float64, a *segment, sb float64, b *segment) bool {
+	if sa != sb {
+		return sa > sb
 	}
-	var cands []scored
+	if a.sealedW != b.sealedW {
+		return a.sealedW < b.sealedW
+	}
+	return a.id < b.id
+}
+
+// scoredSeg pairs a candidate with its policy score during selection.
+type scoredSeg struct {
+	seg   *segment
+	score float64
+}
+
+// topNCands orders candidates by victimBetter and returns the best n
+// segments.
+func topNCands(cands []scoredSeg, n int) []*segment {
+	sort.Slice(cands, func(i, j int) bool {
+		return victimBetter(cands[i].score, cands[i].seg, cands[j].score, cands[j].seg)
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]*segment, n)
+	for i := range out {
+		out[i] = cands[i].seg
+	}
+	return out
+}
+
+// selectVictims returns up to n victims ordered best-first according
+// to the victim policy. Segments with no garbage are never selected
+// (reclaiming them cannot make progress). The default path answers
+// from the incremental victim index without touching the segment
+// array; Config.LegacyVictimScan selects the reference scan.
+func (s *Store) selectVictims(n int) []*segment {
+	if s.cfg.LegacyVictimScan {
+		return s.selectVictimsScan(n)
+	}
+	return s.selectVictimsIndexed(n)
+}
+
+// selectVictimsScan is the reference selector: rescan every segment,
+// score, and sort — O(S log S) per call. Kept for differential tests
+// and the victim-selection benchmark.
+func (s *Store) selectVictimsScan(n int) []*segment {
+	var cands []scoredSeg
 	consider := func(seg *segment) {
 		if seg.state != segSealed || seg.valid >= seg.written {
 			return
 		}
-		cands = append(cands, scored{seg, s.victimScore(seg)})
+		cands = append(cands, scoredSeg{seg, s.victimScore(seg)})
 	}
 	switch s.cfg.Victim {
 	case DChoices:
@@ -108,21 +152,18 @@ func (s *Store) selectVictims(n int) []*segment {
 		}
 	case WindowedGreedy:
 		// Windowed Greedy [Hu et al., SYSTOR'09]: greedy restricted to
-		// the W oldest sealed segments (by seal clock).
-		w := s.cfg.GreedyWindow
-		if w <= 0 {
-			w = len(s.segments) / 8
-		}
-		if w < n {
-			w = n
-		}
+		// the W oldest sealed segments (by seal order).
+		w := s.windowSize(n)
 		var sealed []*segment
 		for _, seg := range s.segments {
 			if seg.state == segSealed {
 				sealed = append(sealed, seg)
 			}
 		}
-		sort.Slice(sealed, func(i, j int) bool { return sealed[i].sealedW < sealed[j].sealedW })
+		// Seal sequence, not seal clock: sealedW can tie (several seals
+		// during one GC cycle), and the window must be a total order for
+		// the scan and the seal ring to agree.
+		sort.Slice(sealed, func(i, j int) bool { return sealed[i].sealSeq < sealed[j].sealSeq })
 		if w > len(sealed) {
 			w = len(sealed)
 		}
@@ -142,18 +183,180 @@ func (s *Store) selectVictims(n int) []*segment {
 		}
 	}
 	s.metrics.GCScannedBlocks += int64(len(cands))
-	if len(cands) == 0 {
-		return nil
+	return topNCands(cands, n)
+}
+
+// windowSize resolves the WindowedGreedy candidate window.
+func (s *Store) windowSize(n int) int {
+	w := s.cfg.GreedyWindow
+	if w <= 0 {
+		w = len(s.segments) / 8
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
-	if n > len(cands) {
-		n = len(cands)
+	if w < n {
+		w = n
 	}
-	out := make([]*segment, n)
-	for i := range out {
-		out[i] = cands[i].seg
+	return w
+}
+
+// selectVictimsIndexed answers the victim query from the incremental
+// index. GCScannedBlocks counts index probes (entries examined) here,
+// the indexed analogue of the scan path's candidates-considered count.
+func (s *Store) selectVictimsIndexed(n int) []*segment {
+	p0 := s.vidx.probes
+	defer func() { s.metrics.GCScannedBlocks += s.vidx.probes - p0 }()
+	switch s.cfg.Victim {
+	case CostBenefit:
+		return s.indexedCostBenefit(n)
+	case DChoices:
+		return s.indexedDChoices(n)
+	case RandomGreedy:
+		return s.indexedRandomGreedy(n)
+	case WindowedGreedy:
+		return s.indexedWindowed(n)
+	default:
+		return s.indexedGreedy(n)
+	}
+}
+
+// indexedGreedy pops the n best segments from the garbage buckets,
+// highest bucket first. Within a bucket the heap order (sealedW, id)
+// is exactly the victimBetter tie-break, so the pop sequence matches
+// the sorted scan. Popped entries are re-pushed afterwards — victims
+// that actually get reclaimed go stale via onFree and are dropped
+// lazily.
+func (s *Store) indexedGreedy(n int) []*segment {
+	vi := s.vidx
+	out := make([]*segment, 0, n)
+	var popped []viEntry
+	for g := vi.topGarbage(); g >= 1 && len(out) < n; {
+		e, ok := vi.popLive(g)
+		if !ok {
+			g--
+			continue
+		}
+		popped = append(popped, e)
+		out = append(out, s.segments[e.seg])
+	}
+	for _, e := range popped {
+		vi.heapPush(vi.bucket[e.seg], e)
 	}
 	return out
+}
+
+// indexedCostBenefit merges the per-bucket heads by exact
+// cost-benefit score. Utilization is constant within a bucket, so the
+// cost-benefit order there is the static (sealedW, id) heap order and
+// the global best is always some bucket's head: an n-way merge over at
+// most segBlocks buckets, independent of the segment count.
+func (s *Store) indexedCostBenefit(n int) []*segment {
+	vi := s.vidx
+	out := make([]*segment, 0, n)
+	var popped []viEntry
+	for len(out) < n {
+		var best *segment
+		var bestScore float64
+		bestG := -1
+		for g := vi.topGarbage(); g >= 1; g-- {
+			e, ok := vi.peekLive(g)
+			if !ok {
+				continue
+			}
+			seg := s.segments[e.seg]
+			sc := s.victimScore(seg)
+			if bestG < 0 || victimBetter(sc, seg, bestScore, best) {
+				best, bestScore, bestG = seg, sc, g
+			}
+		}
+		if bestG < 0 {
+			break
+		}
+		e, _ := vi.popLive(bestG)
+		popped = append(popped, e)
+		out = append(out, best)
+	}
+	for _, e := range popped {
+		vi.heapPush(vi.bucket[e.seg], e)
+	}
+	return out
+}
+
+// indexedDChoices mirrors the scan's sampling loop (same rng stream,
+// so victim sequences stay byte-identical), but falls back to the
+// index instead of a full scan on a degenerate sample.
+func (s *Store) indexedDChoices(n int) []*segment {
+	var cands []scoredSeg
+	tries := s.cfg.DChoicesD * n * 2
+	for i := 0; i < tries && len(cands) < s.cfg.DChoicesD*n; i++ {
+		s.vidx.probes++
+		seg := s.segments[s.rng.Intn(len(s.segments))]
+		if seg.state != segSealed || seg.valid >= seg.written {
+			continue
+		}
+		cands = append(cands, scoredSeg{seg, s.victimScore(seg)})
+	}
+	if len(cands) == 0 {
+		return s.indexedGreedy(n)
+	}
+	return topNCands(cands, n)
+}
+
+// indexedRandomGreedy keeps the scan's rejection-sampling loop; when
+// the sample comes up empty it draws uniformly from the index's live
+// members instead of scanning, so the distribution is unchanged.
+func (s *Store) indexedRandomGreedy(n int) []*segment {
+	vi := s.vidx
+	var cands []scoredSeg
+	for i := 0; i < 4*len(s.segments) && len(cands) < n; i++ {
+		vi.probes++
+		seg := s.segments[s.rng.Intn(len(s.segments))]
+		if seg.state != segSealed || seg.valid >= seg.written {
+			continue
+		}
+		cands = append(cands, scoredSeg{seg, s.victimScore(seg)})
+	}
+	if len(cands) > 0 {
+		return topNCands(cands, n)
+	}
+	// Uniform permutation of the reclaimable members (partial
+	// Fisher-Yates), equivalent to the scan fallback's random scoring.
+	var ids []int32
+	for g := vi.topGarbage(); g >= 1; g-- {
+		for _, e := range vi.buckets[g] {
+			vi.probes++
+			if vi.liveEntry(e) {
+				ids = append(ids, e.seg)
+			}
+		}
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make([]*segment, n)
+	for i := 0; i < n; i++ {
+		j := i + s.rng.Intn(len(ids)-i)
+		ids[i], ids[j] = ids[j], ids[i]
+		out[i] = s.segments[ids[i]]
+	}
+	return out
+}
+
+// indexedWindowed reads the candidate window straight off the seal
+// ring — insertion order is seal order, so no per-cycle sort — and
+// falls back to plain greedy when the window holds no garbage.
+func (s *Store) indexedWindowed(n int) []*segment {
+	vi := s.vidx
+	var cands []scoredSeg
+	for _, id := range vi.windowEntries(s.windowSize(n)) {
+		seg := s.segments[id]
+		if seg.valid >= seg.written {
+			continue
+		}
+		cands = append(cands, scoredSeg{seg, s.victimScore(seg)})
+	}
+	if len(cands) == 0 {
+		return s.indexedGreedy(n)
+	}
+	return topNCands(cands, n)
 }
 
 // victimScore returns a higher-is-better score for victim selection.
@@ -180,6 +383,9 @@ func (s *Store) victimScore(seg *segment) float64 {
 func (s *Store) reclaim(seg *segment) {
 	if seg.state != segSealed {
 		panic(fmt.Sprintf("lss: reclaiming segment %d in state %d", seg.id, seg.state))
+	}
+	if s.onReclaim != nil {
+		s.onReclaim(seg)
 	}
 	base := int64(seg.id) * int64(s.segBlocks)
 	migrated := 0
@@ -208,6 +414,7 @@ func (s *Store) reclaim(seg *segment) {
 	if s.segObs != nil {
 		s.segObs.OnSegmentReclaimed(seg.group, seg.born, seg.sealedW, s.w, migrated, seg.written)
 	}
+	s.vidx.onFree(seg)
 	seg.state = segFree
 	s.free = append(s.free, seg.id)
 	s.metrics.SegmentsReclaimed++
@@ -285,6 +492,10 @@ func (s *Store) CheckInvariants() error {
 		return fmt.Errorf("per-group sums (%d,%d,%d,%d) disagree with totals (%d,%d,%d,%d)",
 			u, g, sh, pad,
 			s.metrics.UserBlocks, s.metrics.GCBlocks, s.metrics.ShadowBlocks, s.metrics.PaddingBlocks)
+	}
+	// The victim index must agree with a recount of segment state.
+	if err := s.vidx.check(s.segments); err != nil {
+		return err
 	}
 	return nil
 }

@@ -33,7 +33,13 @@ type Metrics struct {
 
 	GCCycles          int64 // GC activations
 	SegmentsReclaimed int64
-	GCScannedBlocks   int64 // slots examined during victim scans
+	// GCScannedBlocks measures victim-selection work. On the default
+	// incremental-index path it counts index probes (bucket-heap and
+	// seal-ring entries examined, plus sampling draws); under
+	// Config.LegacyVictimScan it keeps the old meaning of candidates
+	// considered by the full scan. Comparable as "selection effort"
+	// either way, but not across the two paths.
+	GCScannedBlocks int64
 
 	PerGroup []GroupMetrics
 }

@@ -232,5 +232,8 @@ func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
 			}
 		}
 	}
+	// Segment state was rebuilt wholesale above, bypassing the victim
+	// index hooks; reconstruct the index (and seal sequences) from it.
+	s.rebuildVictimIndex()
 	return s, nil
 }

@@ -54,6 +54,7 @@ type segment struct {
 	valid   int     // live (mapped) blocks
 	born    sim.WriteClock
 	sealedW sim.WriteClock
+	sealSeq int64 // monotone seal counter; total order for seal ties
 }
 
 // group is a segment group (stream). Each group owns at most one open
@@ -104,6 +105,14 @@ type Store struct {
 	now       sim.Time
 	inGC      bool
 	appendSeq int64 // monotone per-append version for recovery
+	sealCount int64 // monotone seal counter feeding segment.sealSeq
+
+	// vidx tracks sealed segments for O(1)-amortized victim selection;
+	// maintained unconditionally, consulted unless LegacyVictimScan.
+	vidx *victimIndex
+	// onReclaim, when set, observes every reclaimed victim in selection
+	// order (differential tests compare victim sequences through it).
+	onReclaim func(*segment)
 
 	segBlocks   int
 	chunkBlocks int
@@ -173,6 +182,7 @@ func New(cfg Config, p Policy) *Store {
 		chunkBlocks: cfg.ChunkBlocks,
 		blockBytes:  int64(cfg.BlockSize),
 		snaps:       make([]GroupSnapshot, ngroups),
+		vidx:        newVictimIndex(total, segBlocks),
 	}
 	for i := range s.mapping {
 		s.mapping[i] = -1
@@ -289,7 +299,11 @@ func (s *Store) Trim(lba int64, blocks int, now sim.Time) error {
 	s.advance(now)
 	for i := int64(0); i < int64(blocks); i++ {
 		if loc := s.mapping[lba+i]; loc >= 0 {
-			s.segments[loc/int64(s.segBlocks)].valid--
+			seg := s.segments[loc/int64(s.segBlocks)]
+			seg.valid--
+			if seg.state == segSealed {
+				s.vidx.onInvalidate(seg)
+			}
 			s.mapping[lba+i] = -1
 			s.metrics.TrimmedBlocks++
 		}
@@ -560,6 +574,9 @@ func (s *Store) appendBlock(g GroupID, lba int64, kind appendKind) {
 		if old := s.mapping[lba]; old >= 0 {
 			oldSeg := s.segments[old/int64(s.segBlocks)]
 			oldSeg.valid--
+			if oldSeg.state == segSealed {
+				s.vidx.onInvalidate(oldSeg)
+			}
 		}
 		seg.lbas[slot] = lba
 		s.mapping[lba] = int64(seg.id)*int64(s.segBlocks) + int64(slot)
@@ -624,6 +641,9 @@ func (s *Store) seal(gr *group) {
 	seg := gr.open
 	seg.state = segSealed
 	seg.sealedW = s.w
+	s.sealCount++
+	seg.sealSeq = s.sealCount
+	s.vidx.onSeal(seg)
 	gr.open = nil
 	s.metrics.PerGroup[gr.id].Sealed++
 	if s.tracer != nil {

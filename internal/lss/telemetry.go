@@ -40,7 +40,7 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 		{telemetry.MetricTrimmedBlocks, "Blocks discarded via Trim", func() int64 { return s.metrics.TrimmedBlocks }},
 		{telemetry.MetricGCCycles, "GC activations", func() int64 { return s.metrics.GCCycles }},
 		{telemetry.MetricSegmentsReclaimed, "Segments reclaimed by GC", func() int64 { return s.metrics.SegmentsReclaimed }},
-		{telemetry.MetricGCScanned, "Slots examined during victim scans", func() int64 { return s.metrics.GCScannedBlocks }},
+		{telemetry.MetricGCScanned, "Victim-selection effort: index probes (legacy scan: candidates considered)", func() int64 { return s.metrics.GCScannedBlocks }},
 		{telemetry.MetricSLAViolations, "Persistence latencies beyond the SLA window", func() int64 { return s.metrics.Latency.Violations }},
 		{telemetry.MetricChunkFlushes, "Chunk writes issued to the array", func() int64 {
 			var n int64

@@ -1,0 +1,412 @@
+package lss
+
+import (
+	"fmt"
+	"sort"
+
+	"adapt/internal/sim"
+)
+
+// Incremental GC victim index.
+//
+// Victim selection used to rescan and re-sort every segment on every
+// GC cycle — an O(S) + O(S log S) cost paid on the write path at each
+// low-water allocation, growing with array size. The store now keeps
+// the selection state incrementally, updated at the three mutation
+// points of a sealed segment's garbage count (block invalidation in
+// appendBlock/Trim, segment seal, segment reclaim), so every victim
+// policy answers its query without touching the segment array:
+//
+//   - Garbage buckets: sealed segments bucketed by invalid-block count
+//     (0..segBlocks). Each bucket is a lazy-deletion min-heap keyed by
+//     (sealedW, id) — the canonical victim tie-break order — so the
+//     head of the highest non-empty bucket is the Greedy victim, and
+//     merging the per-bucket heads by exact cost-benefit score yields
+//     the CostBenefit victims (utilization is constant within a
+//     bucket, so the cost-benefit order there is the static seal-clock
+//     order; age drift over the write clock cannot reorder a bucket).
+//   - A seal ring: segments in seal order. The seal sequence is
+//     monotone, so insertion order *is* window order and
+//     WindowedGreedy needs no per-cycle sort.
+//   - Per-segment epochs ("stamps"): every membership or bucket change
+//     bumps the segment's stamp. Heap entries carry the stamp they
+//     were pushed under (ring entries carry the seal sequence) and are
+//     discarded lazily when they surface with a stale stamp.
+//
+// Every hook is O(log S) worst case (one heap push); queries are O(1)
+// amortized for Greedy and the DChoices/RandomGreedy sampling paths,
+// O(segBlocks) per victim for CostBenefit, and O(window) for
+// WindowedGreedy — all independent of the total segment count.
+// CheckInvariants cross-checks the whole structure against a recount,
+// so every stress test also validates the incremental maintenance.
+
+// viEntry is one bucket-heap entry. Ordering (sealedW, seg) ascending
+// matches the canonical tie-break: among equal-garbage segments the
+// oldest-sealed wins, then the lowest id.
+type viEntry struct {
+	sealedW sim.WriteClock
+	seg     int32
+	stamp   uint32
+}
+
+// viRingEntry is one seal-ring entry; seq is the segment's seal
+// sequence at insertion, so a reclaimed-and-resealed segment
+// invalidates its old entry even within a single GC cycle.
+type viRingEntry struct {
+	seg int32
+	seq int64
+}
+
+type victimIndex struct {
+	segBlocks int
+
+	// Per-segment state.
+	stamp   []uint32 // bucket-membership epoch; bumped on every change
+	sealSeq []int64  // seal incarnation of the current membership
+	member  []bool   // tracked (== sealed)
+	bucket  []int    // garbage count while member
+
+	// Garbage buckets, indexed by invalid-block count.
+	buckets [][]viEntry
+	liveCnt []int // live members per bucket
+	maxG    int   // no live member sits in a bucket above maxG
+
+	// Seal ring (FIFO in seal order) for WindowedGreedy.
+	ring     []viRingEntry
+	ringHead int // entries before ringHead are permanently stale
+	ringLive int
+
+	// probes counts index entries examined during selection; the store
+	// drains deltas into Metrics.GCScannedBlocks.
+	probes int64
+}
+
+func newVictimIndex(nsegs, segBlocks int) *victimIndex {
+	return &victimIndex{
+		segBlocks: segBlocks,
+		stamp:     make([]uint32, nsegs),
+		sealSeq:   make([]int64, nsegs),
+		member:    make([]bool, nsegs),
+		bucket:    make([]int, nsegs),
+		buckets:   make([][]viEntry, segBlocks+1),
+		liveCnt:   make([]int, segBlocks+1),
+	}
+}
+
+// liveEntry reports whether a heap entry still describes its segment's
+// current bucket membership. Stamps bump on every membership change,
+// so a match implies the segment is sealed and sits in the bucket the
+// entry was pushed to.
+func (vi *victimIndex) liveEntry(e viEntry) bool { return vi.stamp[e.seg] == e.stamp }
+
+func (vi *victimIndex) liveRingEntry(e viRingEntry) bool {
+	return vi.member[e.seg] && vi.sealSeq[e.seg] == e.seq
+}
+
+func viLess(a, b viEntry) bool {
+	if a.sealedW != b.sealedW {
+		return a.sealedW < b.sealedW
+	}
+	return a.seg < b.seg
+}
+
+func viSiftDown(h []viEntry, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && viLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && viLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (vi *victimIndex) heapPush(g int, e viEntry) {
+	h := append(vi.buckets[g], e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !viLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	vi.buckets[g] = h
+}
+
+func (vi *victimIndex) heapPop(g int) viEntry {
+	h := vi.buckets[g]
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	viSiftDown(h, 0)
+	vi.buckets[g] = h
+	return top
+}
+
+// compact drops stale entries from bucket g in place and restores the
+// heap property. Called when stale entries dominate, so the amortized
+// cost per discarded entry is O(1).
+func (vi *victimIndex) compact(g int) {
+	h := vi.buckets[g][:0]
+	for _, e := range vi.buckets[g] {
+		if vi.liveEntry(e) {
+			h = append(h, e)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		viSiftDown(h, i)
+	}
+	vi.buckets[g] = h
+}
+
+func (vi *victimIndex) compactRing() {
+	r := vi.ring[:0]
+	for _, e := range vi.ring {
+		if vi.liveRingEntry(e) {
+			r = append(r, e)
+		}
+	}
+	vi.ring = r
+	vi.ringHead = 0
+}
+
+// enter places a segment into bucket g under a fresh stamp.
+func (vi *victimIndex) enter(seg *segment, g int) {
+	id := seg.id
+	vi.stamp[id]++
+	vi.bucket[id] = g
+	vi.liveCnt[g]++
+	if g > vi.maxG {
+		vi.maxG = g
+	}
+	if len(vi.buckets[g]) >= 2*vi.liveCnt[g]+16 {
+		vi.compact(g)
+	}
+	vi.heapPush(g, viEntry{seg.sealedW, int32(id), vi.stamp[id]})
+}
+
+// onSeal registers a freshly sealed segment (seg.sealSeq already
+// assigned by the store).
+func (vi *victimIndex) onSeal(seg *segment) {
+	id := seg.id
+	vi.member[id] = true
+	vi.sealSeq[id] = seg.sealSeq
+	vi.enter(seg, seg.written-seg.valid)
+	if len(vi.ring) >= 2*vi.ringLive+64 {
+		vi.compactRing()
+	}
+	vi.ring = append(vi.ring, viRingEntry{int32(id), seg.sealSeq})
+	vi.ringLive++
+}
+
+// onInvalidate moves a sealed segment one bucket up after one of its
+// blocks turned to garbage (seg.valid already decremented).
+func (vi *victimIndex) onInvalidate(seg *segment) {
+	id := seg.id
+	if !vi.member[id] {
+		return // callers gate on segSealed; defensive
+	}
+	vi.liveCnt[vi.bucket[id]]--
+	vi.enter(seg, vi.bucket[id]+1)
+}
+
+// onFree removes a reclaimed segment from the index. Its heap and ring
+// entries go stale (stamp bump / member clear) and are dropped lazily.
+func (vi *victimIndex) onFree(seg *segment) {
+	id := seg.id
+	if !vi.member[id] {
+		return
+	}
+	vi.liveCnt[vi.bucket[id]]--
+	vi.member[id] = false
+	vi.stamp[id]++
+	vi.ringLive--
+}
+
+// topGarbage normalizes and returns the highest non-empty bucket.
+// Amortized O(1): maxG only rises on pushes.
+func (vi *victimIndex) topGarbage() int {
+	for vi.maxG > 0 && vi.liveCnt[vi.maxG] == 0 {
+		vi.maxG--
+	}
+	return vi.maxG
+}
+
+// peekLive returns bucket g's live head without removing it,
+// permanently discarding any stale entries above it.
+func (vi *victimIndex) peekLive(g int) (viEntry, bool) {
+	for len(vi.buckets[g]) > 0 {
+		e := vi.buckets[g][0]
+		vi.probes++
+		if vi.liveEntry(e) {
+			return e, true
+		}
+		vi.heapPop(g)
+	}
+	return viEntry{}, false
+}
+
+// popLive removes and returns bucket g's live head.
+func (vi *victimIndex) popLive(g int) (viEntry, bool) {
+	if _, ok := vi.peekLive(g); !ok {
+		return viEntry{}, false
+	}
+	return vi.heapPop(g), true
+}
+
+// windowEntries returns up to w live segment ids in seal order — the
+// WindowedGreedy candidate window — advancing the ring head past any
+// stale prefix permanently.
+func (vi *victimIndex) windowEntries(w int) []int32 {
+	for vi.ringHead < len(vi.ring) && !vi.liveRingEntry(vi.ring[vi.ringHead]) {
+		vi.ringHead++
+		vi.probes++
+	}
+	out := make([]int32, 0, w)
+	for i := vi.ringHead; i < len(vi.ring) && len(out) < w; i++ {
+		vi.probes++
+		if e := vi.ring[i]; vi.liveRingEntry(e) {
+			out = append(out, e.seg)
+		}
+	}
+	return out
+}
+
+// rebuildVictimIndex reconstructs the index — and the segments' seal
+// sequence numbers — from raw segment state, in the canonical recovery
+// order (sealedW, then id). Recovery uses it after rebuilding segment
+// state wholesale; normal operation maintains the index incrementally
+// and CheckInvariants verifies that maintenance against a recount.
+func (s *Store) rebuildVictimIndex() {
+	vi := s.vidx
+	for i := range vi.member {
+		vi.member[i] = false
+		vi.stamp[i]++
+	}
+	for g := range vi.buckets {
+		vi.buckets[g] = vi.buckets[g][:0]
+		vi.liveCnt[g] = 0
+	}
+	vi.maxG = 0
+	vi.ring = vi.ring[:0]
+	vi.ringHead = 0
+	vi.ringLive = 0
+
+	var sealed []*segment
+	for _, seg := range s.segments {
+		if seg.state == segSealed {
+			sealed = append(sealed, seg)
+		}
+	}
+	sort.Slice(sealed, func(i, j int) bool {
+		if sealed[i].sealedW != sealed[j].sealedW {
+			return sealed[i].sealedW < sealed[j].sealedW
+		}
+		return sealed[i].id < sealed[j].id
+	})
+	s.sealCount = 0
+	for _, seg := range sealed {
+		s.sealCount++
+		seg.sealSeq = s.sealCount
+		vi.onSeal(seg)
+	}
+}
+
+// check cross-validates the index against a recount of segment state;
+// CheckInvariants calls it so every stress test exercises the
+// incremental maintenance. O(segments + heap entries).
+func (vi *victimIndex) check(segs []*segment) error {
+	for _, seg := range segs {
+		id := seg.id
+		if seg.state == segSealed {
+			if !vi.member[id] {
+				return fmt.Errorf("victim index: sealed segment %d not a member", id)
+			}
+			if g := seg.written - seg.valid; vi.bucket[id] != g {
+				return fmt.Errorf("victim index: segment %d in bucket %d, garbage recount %d", id, vi.bucket[id], g)
+			}
+			if vi.sealSeq[id] != seg.sealSeq {
+				return fmt.Errorf("victim index: segment %d seal seq %d, segment says %d", id, vi.sealSeq[id], seg.sealSeq)
+			}
+		} else if vi.member[id] {
+			return fmt.Errorf("victim index: segment %d is a member in state %d", id, seg.state)
+		}
+	}
+	// Exactly one live heap entry per member, in the right bucket, with
+	// the right seal clock; live counts match a recount.
+	liveSeen := make([]int, len(segs))
+	for g, h := range vi.buckets {
+		live := 0
+		for _, e := range h {
+			if !vi.liveEntry(e) {
+				continue
+			}
+			live++
+			liveSeen[e.seg]++
+			if vi.bucket[e.seg] != g {
+				return fmt.Errorf("victim index: live entry for segment %d in bucket %d, state says %d", e.seg, g, vi.bucket[e.seg])
+			}
+			if e.sealedW != segs[e.seg].sealedW {
+				return fmt.Errorf("victim index: entry for segment %d carries sealedW %d, segment says %d", e.seg, e.sealedW, segs[e.seg].sealedW)
+			}
+		}
+		if live != vi.liveCnt[g] {
+			return fmt.Errorf("victim index: bucket %d live count %d, recount %d", g, vi.liveCnt[g], live)
+		}
+		if g > vi.maxG && live > 0 {
+			return fmt.Errorf("victim index: live bucket %d above maxG hint %d", g, vi.maxG)
+		}
+	}
+	for _, seg := range segs {
+		want := 0
+		if seg.state == segSealed {
+			want = 1
+		}
+		if liveSeen[seg.id] != want {
+			return fmt.Errorf("victim index: segment %d has %d live heap entries, want %d", seg.id, liveSeen[seg.id], want)
+		}
+	}
+	// Ring: exactly one live entry per sealed segment, in seal order,
+	// none before the head.
+	ringSeen := make([]int, len(segs))
+	var lastSeq int64
+	live := 0
+	for i, e := range vi.ring {
+		if !vi.liveRingEntry(e) {
+			continue
+		}
+		if i < vi.ringHead {
+			return fmt.Errorf("victim index: live ring entry for segment %d before head", e.seg)
+		}
+		live++
+		ringSeen[e.seg]++
+		if e.seq <= lastSeq {
+			return fmt.Errorf("victim index: ring out of seal order at segment %d", e.seg)
+		}
+		lastSeq = e.seq
+	}
+	if live != vi.ringLive {
+		return fmt.Errorf("victim index: ring live count %d, recount %d", vi.ringLive, live)
+	}
+	for _, seg := range segs {
+		want := 0
+		if seg.state == segSealed {
+			want = 1
+		}
+		if ringSeen[seg.id] != want {
+			return fmt.Errorf("victim index: segment %d has %d live ring entries, want %d", seg.id, ringSeen[seg.id], want)
+		}
+	}
+	return nil
+}
