@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: check build vet test race bench-telemetry bench-snapshot
+.PHONY: check build vet test race fault bench-telemetry bench-snapshot
 
 ## check: full local gate — vet, build, race-enabled test suite.
 check: vet build race
@@ -18,16 +18,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+## fault: fault-injection / degraded-mode suite under the race detector —
+## failure schedules, XOR reconstruction, rebuild, retry/backoff, and the
+## public-API fault path.
+fault:
+	$(GO) test -race -run 'Fault|Degraded|Rebuild|Backoff|MTBF' \
+		. ./internal/fault ./internal/blockdev ./internal/prototype ./internal/harness ./internal/lss
+
 ## bench-telemetry: verify the disabled-telemetry hot path stays free.
 bench-telemetry:
 	$(GO) test -run '^$$' -bench BenchmarkTelemetryHotPath -benchtime 500000x -count 3 .
 
-## bench-snapshot: record the perf trajectory — Fig-8, ablation, and
+## bench-snapshot: record the perf trajectory — Fig-8, ablation, fault, and
 ## victim-selection benchmarks with allocation stats, as test2json
 ## events in BENCH_<date>.json. Recover benchstat-compatible text with:
 ##   jq -r 'select(.Action=="output") | .Output' BENCH_<date>.json
 bench-snapshot:
-	{ $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation' -benchmem -benchtime 1x -count 1 . && \
+	{ $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation|BenchmarkFault' -benchmem -benchtime 1x -count 1 . && \
 	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 ./internal/lss ; } \
 	  > BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"

@@ -59,9 +59,12 @@ type ADAPTOptions struct {
 type SimulatorConfig struct {
 	// UserBlocks is the user-visible capacity in blocks. Required.
 	UserBlocks int64
-	// Policy is the data placement policy name (see Policies).
+	// Policy is the data placement policy name (see Policies). It is
+	// validated through ParsePolicy; an unknown name surfaces as an
+	// error wrapping ErrUnknownPolicy when the simulator is built.
 	Policy string
-	// Victim is the GC victim selection policy (default greedy).
+	// Victim is the GC victim selection policy (default greedy),
+	// validated through ParseVictim (ErrUnknownVictim on bad names).
 	Victim string
 	// BlockSize in bytes (default 4096).
 	BlockSize int
@@ -80,30 +83,44 @@ type SimulatorConfig struct {
 	ADAPT ADAPTOptions
 }
 
-func victimFromName(name string) (lss.VictimPolicy, error) {
-	switch name {
-	case "", VictimGreedy:
-		return lss.Greedy, nil
-	case VictimCostBenefit:
-		return lss.CostBenefit, nil
-	case VictimDChoices:
-		return lss.DChoices, nil
-	case VictimWindowedGreedy:
-		return lss.WindowedGreedy, nil
-	case VictimRandomGreedy:
-		return lss.RandomGreedy, nil
-	default:
-		return 0, fmt.Errorf("adapt: unknown victim policy %q", name)
-	}
-}
-
-func (c SimulatorConfig) lssConfig() (lss.Config, error) {
+// build validates the configuration and constructs the store geometry
+// and the placement policy instance in one pass. It is the single
+// path behind NewSimulator, RunPrototype, and PolicyFootprintBytes, so
+// every entry point shares the same validation and defaulting: bad
+// names surface as ErrUnknownPolicy/ErrUnknownVictim and bad geometry
+// as errors here rather than panics deep inside the store.
+func (c SimulatorConfig) build() (lss.Config, lss.Policy, error) {
+	fail := func(err error) (lss.Config, lss.Policy, error) { return lss.Config{}, nil, err }
 	if c.UserBlocks <= 0 {
-		return lss.Config{}, fmt.Errorf("adapt: UserBlocks must be positive")
+		return fail(fmt.Errorf("adapt: UserBlocks must be positive, got %d", c.UserBlocks))
 	}
-	victim, err := victimFromName(c.Victim)
+	if c.BlockSize < 0 || c.ChunkBlocks < 0 || c.SegmentChunks < 0 {
+		return fail(fmt.Errorf("adapt: negative geometry (BlockSize %d, ChunkBlocks %d, SegmentChunks %d)",
+			c.BlockSize, c.ChunkBlocks, c.SegmentChunks))
+	}
+	if c.DataColumns < 0 {
+		return fail(fmt.Errorf("adapt: negative DataColumns %d", c.DataColumns))
+	}
+	if c.OverProvision < 0 {
+		return fail(fmt.Errorf("adapt: negative OverProvision %v", c.OverProvision))
+	}
+	if c.OverProvision > 0 && c.OverProvision < 0.02 {
+		return fail(fmt.Errorf("adapt: OverProvision %v below the 2%% GC floor", c.OverProvision))
+	}
+	if c.SLAWindow < 0 {
+		return fail(fmt.Errorf("adapt: negative SLAWindow %v", c.SLAWindow))
+	}
+	polName, err := ParsePolicy(c.Policy)
 	if err != nil {
-		return lss.Config{}, err
+		return fail(err)
+	}
+	victim, err := ParseVictim(c.Victim)
+	if err != nil {
+		return fail(err)
+	}
+	vp, err := victim.lss()
+	if err != nil {
+		return fail(err)
 	}
 	cfg := lss.Config{
 		BlockSize:     c.BlockSize,
@@ -113,7 +130,7 @@ func (c SimulatorConfig) lssConfig() (lss.Config, error) {
 		UserBlocks:    c.UserBlocks,
 		OverProvision: c.OverProvision,
 		SLAWindow:     sim.Time(c.SLAWindow),
-		Victim:        victim,
+		Victim:        vp,
 	}
 	if cfg.ChunkBlocks == 0 {
 		cfg.ChunkBlocks = 16
@@ -128,7 +145,42 @@ func (c SimulatorConfig) lssConfig() (lss.Config, error) {
 		}
 		cfg.SegmentChunks = segChunks
 	}
-	return cfg, nil
+	var pol lss.Policy
+	if polName == PolicyADAPT {
+		rate := c.ADAPT.SampleRate
+		if rate == 0 {
+			rate = 2048 / float64(cfg.UserBlocks)
+			if rate > 0.5 {
+				rate = 0.5
+			}
+			if rate < 0.002 {
+				rate = 0.002
+			}
+		}
+		pol = adaptcore.New(adaptcore.Config{
+			UserBlocks:    cfg.UserBlocks,
+			SegmentBlocks: cfg.SegmentBlocks(),
+			ChunkBlocks:   cfg.ChunkBlocks,
+			OverProvision: cfg.OverProvision,
+		}, adaptcore.Options{
+			SampleRate:         rate,
+			Ladder:             c.ADAPT.GhostSets,
+			DemoteScore:        c.ADAPT.DemoteScore,
+			DisableAggregation: c.ADAPT.DisableAggregation,
+			DisableDemotion:    c.ADAPT.DisableDemotion,
+			DisableAdaptation:  c.ADAPT.DisableAdaptation,
+		})
+	} else {
+		pol, err = placement.New(string(polName), placement.Params{
+			UserBlocks:    cfg.UserBlocks,
+			SegmentBlocks: cfg.SegmentBlocks(),
+			ChunkBlocks:   cfg.ChunkBlocks,
+		})
+		if err != nil {
+			return fail(err)
+		}
+	}
+	return cfg, pol, nil
 }
 
 // GroupMetrics is the per-group traffic breakdown.
@@ -185,48 +237,9 @@ type Simulator struct {
 
 // NewSimulator builds a simulator for the given configuration.
 func NewSimulator(c SimulatorConfig) (*Simulator, error) {
-	cfg, err := c.lssConfig()
+	cfg, pol, err := c.build()
 	if err != nil {
 		return nil, err
-	}
-	var pol lss.Policy
-	name := c.Policy
-	if name == "" {
-		name = PolicyADAPT
-	}
-	if name == PolicyADAPT {
-		rate := c.ADAPT.SampleRate
-		if rate == 0 {
-			rate = 2048 / float64(cfg.UserBlocks)
-			if rate > 0.5 {
-				rate = 0.5
-			}
-			if rate < 0.002 {
-				rate = 0.002
-			}
-		}
-		pol = adaptcore.New(adaptcore.Config{
-			UserBlocks:    cfg.UserBlocks,
-			SegmentBlocks: cfg.SegmentBlocks(),
-			ChunkBlocks:   cfg.ChunkBlocks,
-			OverProvision: cfg.OverProvision,
-		}, adaptcore.Options{
-			SampleRate:         rate,
-			Ladder:             c.ADAPT.GhostSets,
-			DemoteScore:        c.ADAPT.DemoteScore,
-			DisableAggregation: c.ADAPT.DisableAggregation,
-			DisableDemotion:    c.ADAPT.DisableDemotion,
-			DisableAdaptation:  c.ADAPT.DisableAdaptation,
-		})
-	} else {
-		pol, err = placement.New(name, placement.Params{
-			UserBlocks:    cfg.UserBlocks,
-			SegmentBlocks: cfg.SegmentBlocks(),
-			ChunkBlocks:   cfg.ChunkBlocks,
-		})
-		if err != nil {
-			return nil, err
-		}
 	}
 	return &Simulator{store: lss.New(cfg, pol), policy: pol}, nil
 }

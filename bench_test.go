@@ -194,6 +194,31 @@ func BenchmarkFig12Memory(b *testing.B) {
 	}
 }
 
+// BenchmarkFault regenerates the fault-injection extension: one device
+// failure mid-run, degraded reads via XOR reconstruction, and a rebuild
+// streamed through the same bounded device queues. Reports per-phase
+// throughput and WA plus the fault-path counters.
+func BenchmarkFault(b *testing.B) {
+	sc := benchScale()
+	policies := []string{"sepgc", harness.PolicyADAPT}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ExpFault(sc, policies, harness.DefaultFaultOptions(sc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res.Rows {
+				b.ReportMetric(r.OpsPerSec, r.Policy+"_"+r.Phase.String()+"_ops/s")
+				b.ReportMetric(r.WA, r.Policy+"_"+r.Phase.String()+"_WA")
+			}
+			for _, c := range res.Counters {
+				b.ReportMetric(float64(c.DegradedReads), c.Policy+"_degraded_reads")
+				b.ReportMetric(float64(c.RebuildChunks), c.Policy+"_rebuild_chunks")
+			}
+		}
+	}
+}
+
 // benchAblation measures ADAPT's WA with one mechanism disabled on a
 // sparse skewed workload — the design-choice ablations DESIGN.md
 // calls out.

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|telemetry|all")
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|telemetry|all")
 	scaleName := flag.String("scale", "small", "experiment scale: small|full")
 	policy := flag.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
 	series := flag.String("series", "", "write telemetry time-series windows (JSONL) to this file")
@@ -147,6 +147,12 @@ func main() {
 		cells, err := harness.ExpLatency(sc, harness.PolicyNames())
 		fatal(err)
 		fmt.Println(harness.RenderLatency(cells))
+	}
+	if want("fault") {
+		ran = true
+		res, err := harness.ExpFault(sc, harness.PolicyNames(), harness.DefaultFaultOptions(sc))
+		fatal(err)
+		fmt.Println(res.Render())
 	}
 	if *exp == "telemetry" {
 		ran = true

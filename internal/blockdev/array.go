@@ -116,15 +116,36 @@ func (a *Array) ColumnWrites() []int64 {
 // ErrBadStripe is returned by DataArray operations on malformed input.
 var ErrBadStripe = errors.New("blockdev: malformed stripe")
 
+// ErrDoubleFault is returned when an operation would require data
+// from two simultaneously unavailable columns — the failure mode
+// RAID-5 cannot survive.
+var ErrDoubleFault = errors.New("blockdev: double column fault exceeds RAID-5 redundancy")
+
 // DataArray is a byte-accurate in-memory RAID-5 array. It stores full
 // stripes (DataColumns data chunks plus one XOR parity chunk, rotating
-// parity position) and can reconstruct any single lost column.
+// parity position) and can reconstruct any single lost column. One
+// column may be marked failed: its contents are discarded, reads of it
+// are served by XOR reconstruction from the survivors (degraded
+// reads), and an incremental rebuild restores the column onto a spare
+// stripe by stripe.
 type DataArray struct {
 	dataColumns int
 	chunkBytes  int
 	// disks[col] is the sequence of chunks written to that column.
+	// Entries of a failed column are nil until the rebuild completes.
 	disks [][][]byte
 	rows  int64
+
+	// failed is the failed column, or -1 when healthy.
+	failed int
+	// spare accumulates the replacement contents of the failed column:
+	// rebuild fills pre-failure rows by reconstruction, WriteStripe
+	// fills post-failure rows directly (no reconstruction needed).
+	spare [][]byte
+	// rebuildCursor is the next row the incremental rebuild will visit.
+	rebuildCursor int64
+	degradedReads int64
+	rebuiltChunks int64
 }
 
 // NewDataArray builds a byte-accurate array.
@@ -136,6 +157,7 @@ func NewDataArray(dataColumns, chunkBytes int) *DataArray {
 		dataColumns: dataColumns,
 		chunkBytes:  chunkBytes,
 		disks:       make([][][]byte, dataColumns+1),
+		failed:      -1,
 	}
 }
 
@@ -173,33 +195,60 @@ func (d *DataArray) WriteStripe(chunks [][]byte) error {
 			payload = append([]byte(nil), chunks[ci]...)
 			ci++
 		}
-		d.disks[col] = append(d.disks[col], payload)
+		if col == d.failed {
+			// The failed disk cannot store the chunk; the spare takes it
+			// directly, so post-failure rows never need reconstruction.
+			d.disks[col] = append(d.disks[col], nil)
+			d.spare = append(d.spare, payload)
+		} else {
+			d.disks[col] = append(d.disks[col], payload)
+		}
 	}
 	d.rows++
 	return nil
 }
 
-// ReadChunk returns the idx-th data chunk of stripe row (0-based,
-// skipping the parity column).
-func (d *DataArray) ReadChunk(row int64, idx int) ([]byte, error) {
-	if row < 0 || row >= d.rows || idx < 0 || idx >= d.dataColumns {
-		return nil, fmt.Errorf("%w: row %d idx %d", ErrBadStripe, row, idx)
+// FailColumn marks col as failed, discarding its contents. A second
+// concurrent failure returns ErrDoubleFault (RAID-5 survives one).
+func (d *DataArray) FailColumn(col int) error {
+	if col < 0 || col > d.dataColumns {
+		return fmt.Errorf("%w: column %d", ErrBadStripe, col)
 	}
-	parityCol := int(row % int64(d.dataColumns+1))
-	col := idx
-	if col >= parityCol {
-		col++
+	if d.failed >= 0 {
+		return fmt.Errorf("%w: column %d already failed", ErrDoubleFault, d.failed)
 	}
-	return d.disks[col][row], nil
+	d.failed = col
+	for i := range d.disks[col] {
+		d.disks[col][i] = nil
+	}
+	d.spare = make([][]byte, d.rows)
+	d.rebuildCursor = 0
+	return nil
 }
 
-// ReconstructColumn recomputes the contents of a lost column for the
-// given stripe row by XOR of all surviving columns — the RAID-5
-// recovery path.
-func (d *DataArray) ReconstructColumn(row int64, lostCol int) ([]byte, error) {
-	if row < 0 || row >= d.rows || lostCol < 0 || lostCol > d.dataColumns {
-		return nil, fmt.Errorf("%w: row %d col %d", ErrBadStripe, row, lostCol)
+// FailedColumn returns the failed column index, or -1 when healthy.
+func (d *DataArray) FailedColumn() int { return d.failed }
+
+// DegradedReads returns how many chunk reads were served by XOR
+// reconstruction because their column was failed and not yet rebuilt.
+func (d *DataArray) DegradedReads() int64 { return d.degradedReads }
+
+// RebuiltChunks returns how many chunks the rebuild reconstructed.
+func (d *DataArray) RebuiltChunks() int64 { return d.rebuiltChunks }
+
+// RebuildProgress reports the incremental rebuild position: rows the
+// rebuild cursor has passed and the total rows it must cover. Both are
+// zero on a healthy array.
+func (d *DataArray) RebuildProgress() (done, total int64) {
+	if d.failed < 0 {
+		return 0, 0
 	}
+	return d.rebuildCursor, d.rows
+}
+
+// reconstruct XORs all surviving columns of row into a new chunk —
+// the contents of the one missing column.
+func (d *DataArray) reconstruct(row int64, lostCol int) []byte {
 	out := make([]byte, d.chunkBytes)
 	for col := 0; col <= d.dataColumns; col++ {
 		if col == lostCol {
@@ -209,5 +258,85 @@ func (d *DataArray) ReconstructColumn(row int64, lostCol int) ([]byte, error) {
 			out[i] ^= b
 		}
 	}
-	return out, nil
+	return out
+}
+
+// spareChunk returns the failed column's content for row from the
+// spare, reconstructing (and recording a degraded read) when the
+// rebuild has not reached the row yet.
+func (d *DataArray) spareChunk(row int64) []byte {
+	if c := d.spare[row]; c != nil {
+		return c
+	}
+	d.degradedReads++
+	return d.reconstruct(row, d.failed)
+}
+
+// RebuildStep advances the incremental rebuild by at most maxChunks
+// reconstructions, walking rows in order onto the spare. It returns
+// how many chunks were actually reconstructed (rows already present
+// in the spare cost nothing) and whether the rebuild is complete;
+// completion swaps the spare in and returns the array to healthy. On
+// a healthy array it reports (0, true, nil).
+func (d *DataArray) RebuildStep(maxChunks int) (rebuilt int, done bool, err error) {
+	if d.failed < 0 {
+		return 0, true, nil
+	}
+	if maxChunks < 1 {
+		return 0, false, fmt.Errorf("%w: rebuild step of %d chunks", ErrBadStripe, maxChunks)
+	}
+	for d.rebuildCursor < d.rows && rebuilt < maxChunks {
+		row := d.rebuildCursor
+		if d.spare[row] == nil {
+			d.spare[row] = d.reconstruct(row, d.failed)
+			rebuilt++
+			d.rebuiltChunks++
+		}
+		d.rebuildCursor++
+	}
+	if d.rebuildCursor < d.rows {
+		return rebuilt, false, nil
+	}
+	// Rebuild complete: the spare becomes the column.
+	copy(d.disks[d.failed], d.spare)
+	d.failed = -1
+	d.spare = nil
+	d.rebuildCursor = 0
+	return rebuilt, true, nil
+}
+
+// ReadChunk returns the idx-th data chunk of stripe row (0-based,
+// skipping the parity column). When the chunk's column is failed the
+// read is served from the spare or, before the rebuild reaches the
+// row, by degraded XOR reconstruction.
+func (d *DataArray) ReadChunk(row int64, idx int) ([]byte, error) {
+	if row < 0 || row >= d.rows || idx < 0 || idx >= d.dataColumns {
+		return nil, fmt.Errorf("%w: row %d idx %d", ErrBadStripe, row, idx)
+	}
+	parityCol := int(row % int64(d.dataColumns+1))
+	col := idx
+	if col >= parityCol {
+		col++
+	}
+	if col == d.failed {
+		return d.spareChunk(row), nil
+	}
+	return d.disks[col][row], nil
+}
+
+// ReconstructColumn recomputes the contents of a lost column for the
+// given stripe row by XOR of all surviving columns — the RAID-5
+// recovery path. With a failed column, only that column can be
+// reconstructed; asking for any other is a double fault.
+func (d *DataArray) ReconstructColumn(row int64, lostCol int) ([]byte, error) {
+	if row < 0 || row >= d.rows || lostCol < 0 || lostCol > d.dataColumns {
+		return nil, fmt.Errorf("%w: row %d col %d", ErrBadStripe, row, lostCol)
+	}
+	if d.failed >= 0 && lostCol != d.failed {
+		return nil, fmt.Errorf("%w: column %d failed, cannot also lose %d", ErrDoubleFault, d.failed, lostCol)
+	}
+	if lostCol == d.failed {
+		return d.spareChunk(row), nil
+	}
+	return d.reconstruct(row, lostCol), nil
 }

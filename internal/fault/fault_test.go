@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFixedPlanFiresOnce(t *testing.T) {
+	p := Fixed(2, 100)
+	if _, ok := p.Fire(99); ok {
+		t.Fatal("fired before its op")
+	}
+	e, ok := p.Fire(100)
+	if !ok || e.Device != 2 || e.Op != 100 {
+		t.Fatalf("Fire(100) = %+v, %v", e, ok)
+	}
+	if _, ok := p.Fire(1 << 30); ok {
+		t.Fatal("fixed plan fired twice")
+	}
+}
+
+func TestFixedPlanLateCounterStillFires(t *testing.T) {
+	p := Fixed(0, 10)
+	// A counter that jumps past the op must still trigger the event.
+	if e, ok := p.Fire(500); !ok || e.Op != 10 {
+		t.Fatalf("Fire(500) = %+v, %v", e, ok)
+	}
+}
+
+func TestFixedPlanRejectsBadInput(t *testing.T) {
+	for _, p := range []*Plan{Fixed(-1, 10), Fixed(0, 0), Fixed(3, -5)} {
+		if _, ok := p.Next(); ok {
+			t.Fatalf("invalid plan has events: %s", p)
+		}
+	}
+}
+
+func TestMTBFDeterministicAndOrdered(t *testing.T) {
+	a := MTBF(7, 1000, 4, 50000)
+	b := MTBF(7, 1000, 4, 50000)
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 {
+		t.Fatal("MTBF plan generated no events over 50× the mean")
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(ea), len(eb))
+	}
+	prev := int64(0)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+		if ea[i].Op <= prev {
+			t.Fatalf("events not strictly increasing: %+v after op %d", ea[i], prev)
+		}
+		prev = ea[i].Op
+		if ea[i].Device < 0 || ea[i].Device >= 4 {
+			t.Fatalf("device out of range: %+v", ea[i])
+		}
+		if ea[i].Op > 50000 {
+			t.Fatalf("event beyond horizon: %+v", ea[i])
+		}
+	}
+	// Mean gap should be within a factor of two of the configured MTBF
+	// for this many samples.
+	mean := float64(prev) / float64(len(ea))
+	if mean < 500 || mean > 2000 {
+		t.Fatalf("mean inter-failure gap %.0f ops, want ≈1000", mean)
+	}
+}
+
+func TestMTBFEmptyOnBadInput(t *testing.T) {
+	for _, p := range []*Plan{MTBF(1, 0, 4, 100), MTBF(1, 10, 0, 100), MTBF(1, 10, 4, 0)} {
+		if len(p.Events()) != 0 {
+			t.Fatal("invalid MTBF plan has events")
+		}
+	}
+}
+
+func TestBackoffCapsAndGrows(t *testing.T) {
+	b := Backoff{Base: 100 * time.Microsecond, Cap: time.Millisecond}
+	if d := b.Delay(0); d != 100*time.Microsecond {
+		t.Fatalf("Delay(0) = %v", d)
+	}
+	if d := b.Delay(1); d != 200*time.Microsecond {
+		t.Fatalf("Delay(1) = %v", d)
+	}
+	if d := b.Delay(3); d != 800*time.Microsecond {
+		t.Fatalf("Delay(3) = %v", d)
+	}
+	for _, attempt := range []int{4, 10, 40, 1 << 20} {
+		if d := b.Delay(attempt); d != time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want cap", attempt, d)
+		}
+	}
+	if d := (Backoff{}).Delay(0); d != 50*time.Microsecond {
+		t.Fatalf("zero-value base = %v", d)
+	}
+	if d := (Backoff{}).Delay(63); d != 5*time.Millisecond {
+		t.Fatalf("zero-value cap = %v", d)
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"adapt/internal/prototype"
+)
+
+func TestExpFaultCoversPhases(t *testing.T) {
+	sc := SmallScale()
+	policies := []string{"sepgc", PolicyADAPT}
+	res, err := ExpFault(sc, policies, DefaultFaultOptions(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counters) != len(policies) {
+		t.Fatalf("counters for %d policies, want %d", len(res.Counters), len(policies))
+	}
+	phases := map[string]map[prototype.Phase]bool{}
+	for _, row := range res.Rows {
+		if phases[row.Policy] == nil {
+			phases[row.Policy] = map[prototype.Phase]bool{}
+		}
+		phases[row.Policy][row.Phase] = true
+		if row.Ops < 0 || row.OpsPerSec < 0 || row.WA < 1 {
+			t.Fatalf("implausible row %+v", row)
+		}
+	}
+	for _, pol := range policies {
+		for _, p := range []prototype.Phase{prototype.PhaseHealthy, prototype.PhaseDegraded, prototype.PhaseRebuilding} {
+			if !phases[pol][p] {
+				t.Fatalf("policy %s missing phase %v: %v", pol, p, res.Rows)
+			}
+		}
+	}
+	for _, c := range res.Counters {
+		if c.RebuildChunks == 0 {
+			t.Fatalf("policy %s rebuilt no chunks", c.Policy)
+		}
+		if c.DegradedReads == 0 {
+			t.Fatalf("policy %s served no degraded reads", c.Policy)
+		}
+	}
+	out := res.Render()
+	for _, frag := range []string{"healthy", "degraded", "rebuilding", "rebuild-chunks", PolicyADAPT} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -28,14 +28,26 @@ func (s *Store) runGC() {
 				s.metrics.GCScannedBlocks-startScanned))
 		}()
 	}
+	// Degraded mode (failed array column, rebuild behind its
+	// watermark): reclaim only the minimum needed to keep allocating —
+	// one victim at a time, stopping just above the low watermark — so
+	// GC migration traffic does not starve the rebuild.
+	target := s.cfg.GCHighWater
+	if s.degraded {
+		target = s.cfg.GCLowWater + 1
+		s.metrics.ThrottledGCCycles++
+	}
 	// Safety valve against livelock when every victim is nearly full
 	// (possible under random/windowed selection): after this many
 	// reclaims the cycle gives up and the caller may panic on true
 	// exhaustion.
 	budget := 8 * len(s.segments)
-	for len(s.free) < s.cfg.GCHighWater {
+	for len(s.free) < target {
 		before := len(s.free)
-		want := s.cfg.GCHighWater - len(s.free)
+		want := target - len(s.free)
+		if s.degraded {
+			want = 1
+		}
 		victims := s.selectVictims(want)
 		if len(victims) == 0 {
 			return // nothing reclaimable; caller may panic on exhaustion
@@ -46,7 +58,7 @@ func (s *Store) runGC() {
 			}
 			s.reclaim(v)
 			budget--
-			if len(s.free) >= s.cfg.GCHighWater {
+			if len(s.free) >= target {
 				return
 			}
 		}

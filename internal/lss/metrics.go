@@ -33,6 +33,10 @@ type Metrics struct {
 
 	GCCycles          int64 // GC activations
 	SegmentsReclaimed int64
+	// ThrottledGCCycles counts GC activations that ran in degraded
+	// mode (array column failed, rebuild behind its watermark), where
+	// the cycle reclaims only to just above the low watermark.
+	ThrottledGCCycles int64
 	// GCScannedBlocks measures victim-selection work. On the default
 	// incremental-index path it counts index probes (bucket-heap and
 	// seal-ring entries examined, plus sampling draws); under
@@ -82,11 +86,11 @@ func (m *Metrics) TotalBlocks() int64 {
 // the derived ratios, GC activity, and persistence latency.
 func (m *Metrics) String() string {
 	return fmt.Sprintf("user=%d gc=%d shadow=%d pad=%d read=%d trim=%d "+
-		"WA=%.3f effWA=%.3f padRatio=%.3f gcCycles=%d reclaimed=%d scanned=%d "+
+		"WA=%.3f effWA=%.3f padRatio=%.3f gcCycles=%d throttled=%d reclaimed=%d scanned=%d "+
 		"latMean=%v latP99=%v latMax=%v slaViolations=%d",
 		m.UserBlocks, m.GCBlocks, m.ShadowBlocks, m.PaddingBlocks,
 		m.ReadBlocks, m.TrimmedBlocks,
 		m.WA(), m.EffectiveWA(), m.PaddingRatio(),
-		m.GCCycles, m.SegmentsReclaimed, m.GCScannedBlocks,
+		m.GCCycles, m.ThrottledGCCycles, m.SegmentsReclaimed, m.GCScannedBlocks,
 		m.Latency.Mean(), m.Latency.Quantile(0.99), m.Latency.Max, m.Latency.Violations)
 }

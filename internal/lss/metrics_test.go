@@ -93,6 +93,7 @@ func TestMetricsStringRoundTrip(t *testing.T) {
 		f("effWA=%.3f", m.EffectiveWA()),
 		f("padRatio=%.3f", m.PaddingRatio()),
 		f("gcCycles=%d", m.GCCycles),
+		f("throttled=%d", m.ThrottledGCCycles),
 		f("reclaimed=%d", m.SegmentsReclaimed),
 		f("scanned=%d", m.GCScannedBlocks),
 		f("latMean=%v", m.Latency.Mean()),

@@ -104,6 +104,7 @@ type Store struct {
 	w         sim.WriteClock
 	now       sim.Time
 	inGC      bool
+	degraded  bool  // throttle GC while the array runs degraded
 	appendSeq int64 // monotone per-append version for recovery
 	sealCount int64 // monotone seal counter feeding segment.sealSeq
 
@@ -236,6 +237,18 @@ func (s *Store) Now() sim.Time { return s.now }
 
 // FreeSegments returns the current free-pool size.
 func (s *Store) FreeSegments() int { return len(s.free) }
+
+// SetDegraded toggles degraded mode. While set, GC is throttled to
+// leave device bandwidth for the array rebuild: each cycle reclaims
+// one victim at a time and stops as soon as the free pool climbs just
+// above the low watermark, instead of compacting up to the high
+// watermark. The caller (the prototype's rebuild loop) flips the flag
+// based on its rebuild-progress watermark. Callers must serialize
+// with all other store use.
+func (s *Store) SetDegraded(v bool) { s.degraded = v }
+
+// Degraded reports whether degraded-mode GC throttling is active.
+func (s *Store) Degraded() bool { return s.degraded }
 
 // TotalSegments returns the physical segment count.
 func (s *Store) TotalSegments() int { return len(s.segments) }

@@ -39,6 +39,7 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 		{telemetry.MetricReadBlocks, "User blocks read", func() int64 { return s.metrics.ReadBlocks }},
 		{telemetry.MetricTrimmedBlocks, "Blocks discarded via Trim", func() int64 { return s.metrics.TrimmedBlocks }},
 		{telemetry.MetricGCCycles, "GC activations", func() int64 { return s.metrics.GCCycles }},
+		{telemetry.MetricGCThrottled, "GC activations throttled by degraded mode", func() int64 { return s.metrics.ThrottledGCCycles }},
 		{telemetry.MetricSegmentsReclaimed, "Segments reclaimed by GC", func() int64 { return s.metrics.SegmentsReclaimed }},
 		{telemetry.MetricGCScanned, "Victim-selection effort: index probes (legacy scan: candidates considered)", func() int64 { return s.metrics.GCScannedBlocks }},
 		{telemetry.MetricSLAViolations, "Persistence latencies beyond the SLA window", func() int64 { return s.metrics.Latency.Violations }},

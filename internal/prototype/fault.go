@@ -1,0 +1,427 @@
+package prototype
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adapt/internal/fault"
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/stats"
+	"adapt/internal/telemetry"
+)
+
+// FaultConfig arms the prototype's fault injector. The zero value
+// disables it; setting FailAtOp (with FailDevice) schedules one
+// deterministic failure, setting MTBFOps instead draws the failure
+// from a seeded exponential schedule over the run's op horizon.
+type FaultConfig struct {
+	// FailDevice is the array column to fail (0-based, parity column
+	// included) when FailAtOp is set.
+	FailDevice int
+	// FailAtOp fires the failure when the measured user-op counter
+	// reaches this value (first op = 1). Zero disables the fixed plan.
+	FailAtOp int64
+	// MTBFOps, when positive, replaces the fixed plan with a seeded
+	// exponential failure schedule with this mean (in ops); the first
+	// event inside the run's op horizon becomes the failure. A schedule
+	// with no event inside the horizon leaves the run healthy.
+	MTBFOps int64
+	// RebuildDelayOps is how many further user ops pass between the
+	// failure and the start of the rebuild (detection + spare swap-in
+	// time, expressed in load units so it scales with the run).
+	RebuildDelayOps int64
+	// RebuildBurst is how many chunks each rebuild round pushes through
+	// the device queues before re-checking the watermark (default 8).
+	RebuildBurst int
+	// QueueTimeout bounds one queue-send attempt before it counts as a
+	// retry (default 2ms).
+	QueueTimeout time.Duration
+	// RetryMax is how many timed-out attempts precede the final
+	// blocking send; operations are never dropped (default 5).
+	RetryMax int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between retries (defaults 50µs / 5ms, see fault.Backoff).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// DegradedGCWatermark is the rebuild-progress fraction below which
+	// the store runs throttled degraded-mode GC. Zero takes the default
+	// 0.5; must be at most 1.
+	DegradedGCWatermark float64
+}
+
+// Enabled reports whether the injector is armed.
+func (f FaultConfig) Enabled() bool { return f.FailAtOp > 0 || f.MTBFOps > 0 }
+
+// Phase is one stage of a fault run's lifecycle.
+type Phase int
+
+// Fault-run phases in order.
+const (
+	PhaseHealthy Phase = iota
+	PhaseDegraded
+	PhaseRebuilding
+	PhaseRebuilt
+	numPhases
+)
+
+// String names the phase as used in experiment tables.
+func (p Phase) String() string {
+	switch p {
+	case PhaseHealthy:
+		return "healthy"
+	case PhaseDegraded:
+		return "degraded"
+	case PhaseRebuilding:
+		return "rebuilding"
+	case PhaseRebuilt:
+		return "rebuilt"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// PhaseStats summarizes one phase of a fault run.
+type PhaseStats struct {
+	Phase     Phase
+	Ops       int64
+	Elapsed   time.Duration
+	OpsPerSec float64
+	// WA is the write amplification of traffic issued during the phase
+	// (delta of user+GC blocks over delta of user blocks).
+	WA float64
+	// P99 is the 99th-percentile client-observed op latency: the time
+	// from op start to the store accepting the write (or read) and its
+	// chunk traffic entering the device queues.
+	P99 time.Duration
+}
+
+// trafficSnap is the part of the store metrics a phase boundary needs.
+type trafficSnap struct {
+	user, gc int64
+}
+
+// faultRun is the per-run state of the fault injector. A nil *faultRun
+// is the healthy fast path: dispatch degenerates to a plain channel
+// send and every probe reports "no failure".
+type faultRun struct {
+	cfg     FaultConfig
+	backoff fault.Backoff
+
+	failDev int
+	failOp  int64
+
+	// phase is the lifecycle stage, written only inside enterPhaseLocked
+	// (under the run mutex) and read lock-free by clients and the sink.
+	phase atomic.Int32
+
+	// Guarded by the run mutex (the same one serializing store access):
+	colChunks    []int64 // chunks physically placed per column
+	rebuildTotal int64   // colChunks[failDev] frozen at failure
+	entered      [numPhases]bool
+	startT       [numPhases]time.Time
+	snaps        [numPhases]trafficSnap
+
+	degReads atomic.Int64
+	lost     atomic.Int64
+	rebuilt  atomic.Int64
+	retries  atomic.Int64
+
+	tracer    *telemetry.Tracer
+	retryHist *telemetry.Histogram
+
+	// collectMu guards the merged per-phase latency samples and op
+	// counts that clients contribute when they finish.
+	collectMu sync.Mutex
+	latNS     [numPhases][]float64
+	phaseOps  [numPhases]int64
+}
+
+// newFaultRun validates the fault configuration and resolves the
+// failure plan to a single (device, op) pair. It returns (nil, nil)
+// when the injector is disabled or the MTBF schedule stays quiet
+// within the run's horizon.
+func newFaultRun(cfg *Config, ncols int) (*faultRun, error) {
+	f := cfg.Fault
+	if !f.Enabled() {
+		return nil, nil
+	}
+	if f.DegradedGCWatermark < 0 || f.DegradedGCWatermark > 1 {
+		return nil, fmt.Errorf("prototype: degraded GC watermark %v outside [0,1]", f.DegradedGCWatermark)
+	}
+	if f.DegradedGCWatermark == 0 {
+		f.DegradedGCWatermark = 0.5
+	}
+	if f.RebuildBurst < 1 {
+		f.RebuildBurst = 8
+	}
+	if f.QueueTimeout <= 0 {
+		f.QueueTimeout = 2 * time.Millisecond
+	}
+	if f.RetryMax < 1 {
+		f.RetryMax = 5
+	}
+	if f.RebuildDelayOps < 0 {
+		return nil, fmt.Errorf("prototype: negative rebuild delay %d", f.RebuildDelayOps)
+	}
+	var failDev int
+	var failOp int64
+	if f.MTBFOps > 0 {
+		// Offset the seed so the failure draw is independent of the
+		// clients' zipfian streams.
+		plan := fault.MTBF(cfg.Seed+0x9e3779b97f4a7c15, f.MTBFOps, ncols, cfg.Ops)
+		ev, ok := plan.Next()
+		if !ok {
+			return nil, nil
+		}
+		failDev, failOp = ev.Device, ev.Op
+	} else {
+		failDev, failOp = f.FailDevice, f.FailAtOp
+		if failDev < 0 || failDev >= ncols {
+			return nil, fmt.Errorf("prototype: fail device %d outside array of %d columns", failDev, ncols)
+		}
+		if failOp > cfg.Ops {
+			return nil, fmt.Errorf("prototype: fail op %d beyond run of %d ops", failOp, cfg.Ops)
+		}
+	}
+	return &faultRun{
+		cfg:       f,
+		backoff:   fault.Backoff{Base: f.BackoffBase, Cap: f.BackoffCap},
+		failDev:   failDev,
+		failOp:    failOp,
+		colChunks: make([]int64, ncols),
+	}, nil
+}
+
+// registerTelemetry exposes the injector's counters and the retry
+// histogram on the run's registry.
+func (fr *faultRun) registerTelemetry(ts *telemetry.Set) {
+	if fr == nil || ts == nil {
+		return
+	}
+	fr.tracer = ts.Tracer
+	reg := ts.Registry
+	reg.NewFuncGauge(telemetry.MetricDegradedReads,
+		"Reads served by XOR reconstruction fan-out", true,
+		func() int64 { return fr.degReads.Load() })
+	reg.NewFuncGauge(telemetry.MetricRebuildChunks,
+		"Chunks the rebuild pushed through the device queues", true,
+		func() int64 { return fr.rebuilt.Load() })
+	reg.NewFuncGauge(telemetry.MetricLostChunks,
+		"Chunk writes dropped on the failed column", true,
+		func() int64 { return fr.lost.Load() })
+	reg.NewFuncGauge(telemetry.MetricQueueRetries,
+		"Queue sends that timed out and retried after backoff", true,
+		func() int64 { return fr.retries.Load() })
+	fr.retryHist = reg.NewHistogram(telemetry.MetricRetryHistogram,
+		"Retries per dispatched device operation", []int64{0, 1, 2, 4, 8})
+}
+
+// failureActive reports whether the failed column is currently
+// unavailable (failed and not yet fully rebuilt). Nil-safe.
+func (fr *faultRun) failureActive() bool {
+	if fr == nil {
+		return false
+	}
+	p := Phase(fr.phase.Load())
+	return p == PhaseDegraded || p == PhaseRebuilding
+}
+
+// degradedTarget reports whether a read aimed at col must fan out to
+// the survivors. Nil-safe.
+func (fr *faultRun) degradedTarget(col int) bool {
+	return fr.failureActive() && col == fr.failDev
+}
+
+// enterPhaseLocked records a phase boundary: traffic snapshot, wall
+// time, and the lock-free phase flag. Caller holds the run mutex.
+func (fr *faultRun) enterPhaseLocked(p Phase, m *lss.Metrics) {
+	fr.snaps[p] = trafficSnap{user: m.UserBlocks, gc: m.GCBlocks}
+	fr.startT[p] = time.Now()
+	fr.entered[p] = true
+	fr.phase.Store(int32(p))
+}
+
+// fail fires the planned failure: freezes the rebuild total, flips the
+// store into degraded-mode GC, and enters PhaseDegraded. Exactly one
+// client calls it (the one whose op counter hits failOp).
+func (fr *faultRun) fail(mu *sync.Mutex, store *lss.Store, now sim.Time) {
+	mu.Lock()
+	fr.rebuildTotal = fr.colChunks[fr.failDev]
+	store.SetDegraded(true)
+	fr.enterPhaseLocked(PhaseDegraded, store.Metrics())
+	mu.Unlock()
+	fr.tracer.Emit(telemetry.DeviceFailed(now, fr.failDev, fr.failOp))
+}
+
+// dispatch sends a job to a device queue. With a nil receiver it is a
+// plain blocking send (the healthy fast path). Armed, it first tries a
+// non-blocking send, then QueueTimeout-bounded attempts separated by
+// capped exponential backoff, and after RetryMax retries falls back to
+// a blocking send — device operations are delayed, never dropped.
+func (fr *faultRun) dispatch(d *device, job chunkJob) {
+	if fr == nil {
+		d.ch <- job
+		return
+	}
+	select {
+	case d.ch <- job:
+		fr.retryHist.Observe(0)
+		return
+	default:
+	}
+	var retries int64
+	for {
+		t := time.NewTimer(fr.cfg.QueueTimeout)
+		select {
+		case d.ch <- job:
+			t.Stop()
+			fr.retryHist.Observe(retries)
+			return
+		case <-t.C:
+		}
+		retries++
+		fr.retries.Add(1)
+		if retries >= int64(fr.cfg.RetryMax) {
+			d.ch <- job
+			fr.retryHist.Observe(retries)
+			return
+		}
+		time.Sleep(fr.backoff.Delay(int(retries) - 1))
+	}
+}
+
+// placeChunk routes one chunk of the sink's stripe to its column.
+// While the failure is active, chunks for the failed column are
+// dropped and counted lost (on a real array their content is implied
+// by parity; here the spare takes post-failure rows directly, so they
+// never enter the rebuild). Caller holds the run mutex.
+func (fr *faultRun) placeChunk(devices []*device, col int, job chunkJob) {
+	if fr == nil {
+		devices[col].ch <- job
+		return
+	}
+	if col == fr.failDev && fr.failureActive() {
+		fr.lost.Add(1)
+		return
+	}
+	fr.colChunks[col]++
+	fr.dispatch(devices[col], job)
+}
+
+// waitForRebuild blocks until the failure has fired and the configured
+// op delay has elapsed (or the clients finished first). It reports
+// whether a rebuild is actually needed.
+func (fr *faultRun) waitForRebuild(issued *atomic.Int64, clientsDone <-chan struct{}) bool {
+	trigger := fr.failOp + fr.cfg.RebuildDelayOps
+	for {
+		if fr.phase.Load() >= int32(PhaseDegraded) && issued.Load() >= trigger {
+			return true
+		}
+		select {
+		case <-clientsDone:
+			// Clients drained before the delay elapsed; rebuild anyway if
+			// the failure fired, otherwise there is nothing to do.
+			return fr.phase.Load() >= int32(PhaseDegraded)
+		default:
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// rebuild walks the failed column chunk by chunk, dispatching one
+// reconstruction read on every surviving column plus the spare write
+// through the same bounded queues user traffic uses — rebuild I/O
+// steals real modelled bandwidth. Once progress passes the watermark
+// the store leaves degraded-mode GC; completion enters PhaseRebuilt.
+func (fr *faultRun) rebuild(devices []*device, mu *sync.Mutex, store *lss.Store, start time.Time, chunkBytes int64) {
+	mu.Lock()
+	total := fr.rebuildTotal
+	fr.enterPhaseLocked(PhaseRebuilding, store.Metrics())
+	mu.Unlock()
+	fr.tracer.Emit(telemetry.RebuildStart(sim.Time(time.Since(start)), fr.failDev, total))
+
+	cleared := false
+	var done int64
+	for done < total {
+		n := int64(fr.cfg.RebuildBurst)
+		if total-done < n {
+			n = total - done
+		}
+		for i := int64(0); i < n; i++ {
+			for col, d := range devices {
+				if col == fr.failDev {
+					continue
+				}
+				fr.dispatch(d, chunkJob{read: true})
+			}
+			fr.dispatch(devices[fr.failDev], chunkJob{payload: chunkBytes})
+		}
+		done += n
+		fr.rebuilt.Add(n)
+		if !cleared && float64(done) >= fr.cfg.DegradedGCWatermark*float64(total) {
+			mu.Lock()
+			store.SetDegraded(false)
+			mu.Unlock()
+			cleared = true
+		}
+	}
+	mu.Lock()
+	store.SetDegraded(false)
+	fr.enterPhaseLocked(PhaseRebuilt, store.Metrics())
+	mu.Unlock()
+	fr.tracer.Emit(telemetry.RebuildEnd(sim.Time(time.Since(start)), fr.failDev, total))
+}
+
+// collect merges one client's per-phase latency samples and op counts.
+func (fr *faultRun) collect(latNS [numPhases][]float64, ops [numPhases]int64) {
+	fr.collectMu.Lock()
+	for p := range latNS {
+		fr.latNS[p] = append(fr.latNS[p], latNS[p]...)
+		fr.phaseOps[p] += ops[p]
+	}
+	fr.collectMu.Unlock()
+}
+
+// finish folds the injector's accounting into the run result: the
+// per-phase throughput/WA/P99 table and the fault counters.
+func (fr *faultRun) finish(res *Result, end time.Time, final *lss.Metrics) {
+	res.FailedDevice = fr.failDev
+	res.FailedAtOp = fr.failOp
+	res.DegradedReads = fr.degReads.Load()
+	res.RebuildChunks = fr.rebuilt.Load()
+	res.LostChunks = fr.lost.Load()
+	res.QueueRetries = fr.retries.Load()
+	endSnap := trafficSnap{user: final.UserBlocks, gc: final.GCBlocks}
+	for p := Phase(0); p < numPhases; p++ {
+		if !fr.entered[p] {
+			continue
+		}
+		stop, snap := end, endSnap
+		for q := p + 1; q < numPhases; q++ {
+			if fr.entered[q] {
+				stop, snap = fr.startT[q], fr.snaps[q]
+				break
+			}
+		}
+		ps := PhaseStats{
+			Phase:   p,
+			Ops:     fr.phaseOps[p],
+			Elapsed: stop.Sub(fr.startT[p]),
+		}
+		if ps.Elapsed > 0 {
+			ps.OpsPerSec = float64(ps.Ops) / ps.Elapsed.Seconds()
+		}
+		if du := snap.user - fr.snaps[p].user; du > 0 {
+			ps.WA = float64(du+snap.gc-fr.snaps[p].gc) / float64(du)
+		} else {
+			ps.WA = 1
+		}
+		if samples := fr.latNS[p]; len(samples) > 0 {
+			ps.P99 = time.Duration(stats.Percentile(samples, 99))
+		}
+		res.Phases = append(res.Phases, ps)
+	}
+}

@@ -58,6 +58,10 @@ type Config struct {
 	// wall-derived clock (time since start). Nil disables telemetry at
 	// zero hot-path cost.
 	Telemetry *telemetry.Set
+	// Fault arms the fault injector: a device failure mid-run, degraded
+	// reads, throttled GC, and a bandwidth-stealing rebuild. The zero
+	// value keeps the run healthy.
+	Fault FaultConfig
 }
 
 // Result summarizes a prototype run.
@@ -71,6 +75,16 @@ type Result struct {
 	ParityChunks  int64
 
 	UserBlocks, GCBlocks, ShadowBlocks, PaddingBlocks int64
+
+	// Fault-run accounting; FailedDevice is -1 when the run stayed
+	// healthy and Phases is nil unless the injector was armed.
+	FailedDevice  int
+	FailedAtOp    int64
+	DegradedReads int64
+	RebuildChunks int64
+	LostChunks    int64
+	QueueRetries  int64
+	Phases        []PhaseStats
 }
 
 type chunkJob struct {
@@ -109,12 +123,17 @@ func Run(cfg Config) (Result, error) {
 	}
 	store := lss.New(cfg.Store, cfg.Policy)
 	ncols := store.Config().DataColumns + 1
+	fr, err := newFaultRun(&cfg, ncols)
+	if err != nil {
+		return Result{}, err
+	}
 
 	devices := make([]*device, ncols)
 	for i := range devices {
 		devices[i] = &device{ch: make(chan chunkJob, cfg.QueueDepth)}
 	}
 	if ts := cfg.Telemetry; ts != nil {
+		fr.registerTelemetry(ts)
 		store.SetTelemetry(ts)
 		if p, ok := cfg.Policy.(interface {
 			SetTelemetry(*telemetry.Set)
@@ -163,6 +182,8 @@ func Run(cfg Config) (Result, error) {
 
 	// The sink runs under the store lock; a full device queue applies
 	// backpressure to every writer, exactly like a saturated array.
+	// Routing goes through the fault runtime so chunks bound for a
+	// failed column are dropped and counted instead of queued.
 	var stripeFill int
 	var parityRow int64
 	var parityChunks int64
@@ -172,10 +193,10 @@ func Run(cfg Config) (Result, error) {
 		if col >= parityCol {
 			col++
 		}
-		devices[col].ch <- chunkJob{payload: w.PayloadBytes, pad: w.PadBytes}
+		fr.placeChunk(devices, col, chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
 		stripeFill++
 		if stripeFill == ncols-1 {
-			devices[parityCol].ch <- chunkJob{payload: int64(store.Config().ChunkBytes())}
+			fr.placeChunk(devices, parityCol, chunkJob{payload: int64(store.Config().ChunkBytes())})
 			parityChunks++
 			stripeFill = 0
 			parityRow++
@@ -190,36 +211,87 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	measureStart := time.Now()
+	if fr != nil {
+		fr.enterPhaseLocked(PhaseHealthy, store.Metrics())
+	}
 
 	var mu sync.Mutex
 	var issued atomic.Int64
 	var clientWG sync.WaitGroup
+	clientsDone := make(chan struct{})
+	var rebuildWG sync.WaitGroup
+	if fr != nil {
+		rebuildWG.Add(1)
+		go func() {
+			defer rebuildWG.Done()
+			if fr.waitForRebuild(&issued, clientsDone) {
+				fr.rebuild(devices, &mu, store, start, int64(store.Config().ChunkBytes()))
+			}
+		}()
+	}
 	for c := 0; c < cfg.Clients; c++ {
 		clientWG.Add(1)
 		go func(c int) {
 			defer clientWG.Done()
 			rng := sim.NewRNG(cfg.Seed + uint64(c)*7919)
 			z := workload.NewZipf(rng, cfg.Store.UserBlocks, cfg.Theta, true)
-			for issued.Add(1) <= cfg.Ops {
+			var latNS [numPhases][]float64
+			var phaseOps [numPhases]int64
+			for {
+				op := issued.Add(1)
+				if op > cfg.Ops {
+					break
+				}
+				if fr != nil && op == fr.failOp {
+					fr.fail(&mu, store, sim.Time(time.Since(start)))
+				}
 				lba := z.Next()
+				var p Phase
+				var t0 time.Time
+				if fr != nil {
+					p = Phase(fr.phase.Load())
+					t0 = time.Now()
+				}
 				if cfg.ReadRatio > 0 && rng.Float64() < cfg.ReadRatio {
-					// Reads bypass the log but occupy a column.
+					// Reads bypass the log but occupy a column. A read
+					// aimed at the failed column fans out to every
+					// survivor instead: the XOR reconstruction path.
 					mu.Lock()
 					store.Read(lba, 1, sim.Time(time.Since(start)))
 					mu.Unlock()
-					devices[rng.Intn(len(devices))].ch <- chunkJob{read: true}
-					continue
+					target := rng.Intn(len(devices))
+					if fr.degradedTarget(target) {
+						fr.degReads.Add(1)
+						for col, d := range devices {
+							if col != fr.failDev {
+								fr.dispatch(d, chunkJob{read: true})
+							}
+						}
+					} else {
+						fr.dispatch(devices[target], chunkJob{read: true})
+					}
+				} else {
+					mu.Lock()
+					err := store.WriteBlock(lba, sim.Time(time.Since(start)))
+					mu.Unlock()
+					if err != nil {
+						panic(err) // LBAs are generated in range; this is a bug
+					}
 				}
-				mu.Lock()
-				err := store.WriteBlock(lba, sim.Time(time.Since(start)))
-				mu.Unlock()
-				if err != nil {
-					panic(err) // LBAs are generated in range; this is a bug
+				if fr != nil {
+					latNS[p] = append(latNS[p], float64(time.Since(t0)))
+					phaseOps[p]++
 				}
+			}
+			if fr != nil {
+				fr.collect(latNS, phaseOps)
 			}
 		}(c)
 	}
 	clientWG.Wait()
+	close(clientsDone)
+	rebuildWG.Wait()
+	measureEnd := time.Now() // phase accounting stops before the drain
 	mu.Lock()
 	store.Drain(sim.Time(time.Since(start)))
 	mu.Unlock()
@@ -241,9 +313,16 @@ func Run(cfg Config) (Result, error) {
 		GCBlocks:      m.GCBlocks,
 		ShadowBlocks:  m.ShadowBlocks,
 		PaddingBlocks: m.PaddingBlocks,
+		FailedDevice:  -1,
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(cfg.Ops) / elapsed.Seconds()
+	}
+	if fr != nil {
+		fr.finish(&res, measureEnd, m)
+		if err := store.CheckInvariants(); err != nil {
+			return res, fmt.Errorf("prototype: post-fault invariant check: %w", err)
+		}
 	}
 	return res, nil
 }

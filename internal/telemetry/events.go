@@ -22,6 +22,9 @@ const (
 	EvThresholdAdapt                      // ADAPT adopted a new hot/cold threshold
 	EvDemote                              // ADAPT proactively demoted a user write
 	EvRecovery                            // store rebuilt from a checkpoint
+	EvDeviceFailed                        // array column failed; A = op count at failure
+	EvRebuildStart                        // spare rebuild began; A = chunks to rebuild
+	EvRebuildEnd                          // spare rebuild completed; A = chunks rebuilt
 )
 
 // String returns the JSONL type tag.
@@ -43,6 +46,12 @@ func (t EventType) String() string {
 		return "demote"
 	case EvRecovery:
 		return "recovery"
+	case EvDeviceFailed:
+		return "device_failed"
+	case EvRebuildStart:
+		return "rebuild_start"
+	case EvRebuildEnd:
+		return "rebuild_end"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}
@@ -125,6 +134,23 @@ func Demote(now sim.Time, group int, lba int64) Event {
 // Recovery traces a store rebuild from a checkpoint.
 func Recovery(now sim.Time, segments int, liveBlocks int64) Event {
 	return Event{Time: now, Type: EvRecovery, A: int64(segments), B: liveBlocks}
+}
+
+// DeviceFailed traces an array column failure. Segment carries the
+// device (column) index; A is the user-op count at the failure.
+func DeviceFailed(now sim.Time, device int, op int64) Event {
+	return Event{Time: now, Type: EvDeviceFailed, Segment: int32(device), A: op}
+}
+
+// RebuildStart traces the beginning of a spare rebuild with its
+// planned chunk count.
+func RebuildStart(now sim.Time, device int, chunks int64) Event {
+	return Event{Time: now, Type: EvRebuildStart, Segment: int32(device), A: chunks}
+}
+
+// RebuildEnd traces a completed spare rebuild.
+func RebuildEnd(now sim.Time, device int, chunks int64) Event {
+	return Event{Time: now, Type: EvRebuildEnd, Segment: int32(device), A: chunks}
 }
 
 // Tracer is a bounded ring buffer of events. Emit is mutex-guarded and
@@ -244,6 +270,10 @@ func writeEventJSON(w io.Writer, e Event) error {
 		p(`,"group":%d,"lba":%d`, e.Group, e.A)
 	case EvRecovery:
 		p(`,"segments":%d,"live_blocks":%d`, e.A, e.B)
+	case EvDeviceFailed:
+		p(`,"device":%d,"op":%d`, e.Segment, e.A)
+	case EvRebuildStart, EvRebuildEnd:
+		p(`,"device":%d,"chunks":%d`, e.Segment, e.A)
 	default:
 		p(`,"group":%d,"segment":%d,"a":%d,"b":%d,"c":%d,"f":%g`,
 			e.Group, e.Segment, e.A, e.B, e.C, e.F)

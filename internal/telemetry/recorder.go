@@ -17,6 +17,7 @@ const (
 	MetricReadBlocks        = "lss_read_blocks_total"
 	MetricTrimmedBlocks     = "lss_trimmed_blocks_total"
 	MetricGCCycles          = "lss_gc_cycles_total"
+	MetricGCThrottled       = "lss_gc_throttled_cycles_total"
 	MetricSegmentsReclaimed = "lss_segments_reclaimed_total"
 	MetricGCScanned         = "lss_gc_scanned_blocks_total"
 	MetricChunkFlushes      = "lss_chunk_flushes_total"
@@ -33,6 +34,23 @@ const (
 	MetricDeviceQueuePrefix = "proto_device_queue_depth"
 	// MetricDeviceChunksPrefix is the per-device chunk-count family.
 	MetricDeviceChunksPrefix = "proto_device_chunks_total"
+
+	// Fault-subsystem counters (prototype degraded mode).
+	// MetricDegradedReads counts reads served by XOR reconstruction
+	// fan-out because their column was failed.
+	MetricDegradedReads = "proto_degraded_reads_total"
+	// MetricRebuildChunks counts chunks the rebuild pushed through the
+	// device queues onto the spare.
+	MetricRebuildChunks = "proto_rebuild_chunks_total"
+	// MetricLostChunks counts chunk writes dropped on the failed
+	// column (reconstructable from parity until the rebuild lands).
+	MetricLostChunks = "proto_lost_chunks_total"
+	// MetricQueueRetries counts dispatches that timed out on a full
+	// device queue and retried after backoff.
+	MetricQueueRetries = "proto_queue_retries_total"
+	// MetricRetryHistogram is the histogram of retry attempts per
+	// dispatched operation.
+	MetricRetryHistogram = "proto_dispatch_retry_attempts"
 
 	MetricAdaptThreshold = "adapt_threshold_blocks"
 	MetricAdaptAdoptions = "adapt_threshold_adoptions_total"

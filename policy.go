@@ -1,0 +1,84 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+
+	"adapt/internal/lss"
+)
+
+// Sentinel errors returned (wrapped) by the name-parsing API, so
+// callers can distinguish a bad policy name from a bad victim name
+// with errors.Is.
+var (
+	ErrUnknownPolicy = errors.New("adapt: unknown placement policy")
+	ErrUnknownVictim = errors.New("adapt: unknown victim policy")
+)
+
+// Policy is a validated placement policy name. The untyped string
+// constants (PolicySepGC, ..., PolicyADAPT) assign to it directly, and
+// ParsePolicy lifts runtime strings (flags, config files) into it with
+// validation. SimulatorConfig.Policy remains a plain string for
+// compatibility; it is parsed through ParsePolicy when the simulator
+// is built.
+type Policy string
+
+// String returns the policy name.
+func (p Policy) String() string { return string(p) }
+
+// ParsePolicy validates a placement policy name. The empty string
+// parses to the default (ADAPT); unknown names return an error
+// wrapping ErrUnknownPolicy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "":
+		return PolicyADAPT, nil
+	case PolicySepGC, PolicyDAC, PolicyWARCIP, PolicyMiDA, PolicySepBIT, PolicyADAPT:
+		return Policy(name), nil
+	default:
+		return "", fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
+	}
+}
+
+// Victim is a validated GC victim policy name. Like Policy, the
+// untyped constants (VictimGreedy, ...) assign to it directly and
+// SimulatorConfig.Victim stays a plain string on the outside.
+type Victim string
+
+// String returns the victim policy name.
+func (v Victim) String() string { return string(v) }
+
+// ParseVictim validates a victim policy name. The empty string parses
+// to the default (greedy); unknown names return an error wrapping
+// ErrUnknownVictim.
+func ParseVictim(name string) (Victim, error) {
+	if _, err := victimPolicy(name); err != nil {
+		return "", err
+	}
+	if name == "" {
+		return VictimGreedy, nil
+	}
+	return Victim(name), nil
+}
+
+// lss maps a validated Victim onto the store's enum.
+func (v Victim) lss() (lss.VictimPolicy, error) { return victimPolicy(string(v)) }
+
+// victimPolicy is the single name→enum mapping behind ParseVictim and
+// Victim.lss.
+func victimPolicy(name string) (lss.VictimPolicy, error) {
+	switch name {
+	case "", VictimGreedy:
+		return lss.Greedy, nil
+	case VictimCostBenefit:
+		return lss.CostBenefit, nil
+	case VictimDChoices:
+		return lss.DChoices, nil
+	case VictimWindowedGreedy:
+		return lss.WindowedGreedy, nil
+	case VictimRandomGreedy:
+		return lss.RandomGreedy, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownVictim, name)
+	}
+}

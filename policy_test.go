@@ -1,0 +1,148 @@
+package adapt
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The untyped name constants must keep assigning to both plain strings
+// (existing callers) and the typed layer.
+var (
+	_ string = PolicyADAPT
+	_ Policy = PolicyADAPT
+	_ string = VictimGreedy
+	_ Victim = VictimGreedy
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range Policies() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Fatalf("ParsePolicy(%q) = %q", name, p)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != PolicyADAPT {
+		t.Fatalf("empty name = (%q, %v), want default adapt", p, err)
+	}
+	_, err := ParsePolicy("bogus")
+	if !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("unknown policy error = %v, want ErrUnknownPolicy", err)
+	}
+}
+
+func TestParseVictim(t *testing.T) {
+	for _, name := range []string{VictimGreedy, VictimCostBenefit, VictimDChoices, VictimWindowedGreedy, VictimRandomGreedy} {
+		v, err := ParseVictim(name)
+		if err != nil {
+			t.Fatalf("ParseVictim(%q): %v", name, err)
+		}
+		if v.String() != name {
+			t.Fatalf("ParseVictim(%q) = %q", name, v)
+		}
+	}
+	if v, err := ParseVictim(""); err != nil || v != VictimGreedy {
+		t.Fatalf("empty name = (%q, %v), want default greedy", v, err)
+	}
+	_, err := ParseVictim("bogus")
+	if !errors.Is(err, ErrUnknownVictim) {
+		t.Fatalf("unknown victim error = %v, want ErrUnknownVictim", err)
+	}
+}
+
+// TestBuildValidationNoPanic checks that configurations which used to
+// panic deep inside the store (or the array constructor) now surface
+// as constructor errors.
+func TestBuildValidationNoPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SimulatorConfig
+	}{
+		{"negative over-provision", SimulatorConfig{UserBlocks: 1024, OverProvision: -0.1}},
+		{"over-provision below GC floor", SimulatorConfig{UserBlocks: 1024, OverProvision: 0.01}},
+		{"negative data columns", SimulatorConfig{UserBlocks: 1024, DataColumns: -1}},
+		{"negative chunk blocks", SimulatorConfig{UserBlocks: 1024, ChunkBlocks: -4}},
+		{"negative segment chunks", SimulatorConfig{UserBlocks: 1024, SegmentChunks: -2}},
+		{"negative block size", SimulatorConfig{UserBlocks: 1024, BlockSize: -4096}},
+		{"negative SLA window", SimulatorConfig{UserBlocks: 1024, SLAWindow: -time.Microsecond}},
+		{"zero capacity", SimulatorConfig{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("NewSimulator panicked: %v", r)
+				}
+			}()
+			if _, err := NewSimulator(tc.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+	// Errors from bad names must carry the sentinels through the
+	// constructor too.
+	if _, err := NewSimulator(SimulatorConfig{UserBlocks: 1024, Policy: "bogus"}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("constructor policy error = %v, want ErrUnknownPolicy", err)
+	}
+	if _, err := NewSimulator(SimulatorConfig{UserBlocks: 1024, Victim: "bogus"}); !errors.Is(err, ErrUnknownVictim) {
+		t.Fatalf("constructor victim error = %v, want ErrUnknownVictim", err)
+	}
+}
+
+// TestRunPrototypeFault drives the fault injector through the public
+// API: the failure fires, every phase reports, and the counters are
+// live.
+func TestRunPrototypeFault(t *testing.T) {
+	res, err := RunPrototype(PrototypeConfig{
+		Simulator:   SimulatorConfig{UserBlocks: 8 << 10, Policy: PolicySepGC},
+		Clients:     4,
+		Ops:         16000,
+		Theta:       0.99,
+		Fill:        true,
+		ReadRatio:   0.2,
+		ServiceTime: time.Microsecond,
+		QueueDepth:  8,
+		Seed:        9,
+		Fault: FaultConfig{
+			FailDevice:      0,
+			FailAtOp:        4000,
+			RebuildDelayOps: 2000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedDevice != 0 || res.FailedAtOp != 4000 {
+		t.Fatalf("failure not recorded: %+v", res)
+	}
+	if res.RebuildChunks == 0 {
+		t.Fatal("rebuild moved no chunks")
+	}
+	phases := map[string]bool{}
+	for _, p := range res.Phases {
+		phases[p.Phase] = true
+	}
+	for _, want := range []string{"healthy", "degraded", "rebuilding", "rebuilt"} {
+		if !phases[want] {
+			t.Fatalf("phase %q missing from %+v", want, res.Phases)
+		}
+	}
+	// A healthy run keeps the fault fields zeroed and the device at -1.
+	healthy, err := RunPrototype(PrototypeConfig{
+		Simulator:   SimulatorConfig{UserBlocks: 4 << 10, Policy: PolicySepGC},
+		Clients:     2,
+		Ops:         4000,
+		Theta:       0.9,
+		ServiceTime: time.Microsecond,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.FailedDevice != -1 || len(healthy.Phases) != 0 {
+		t.Fatalf("healthy run carries fault state: %+v", healthy)
+	}
+}

@@ -6,6 +6,56 @@ import (
 	"adapt/internal/prototype"
 )
 
+// FaultConfig arms the prototype's fault injector: one device of the
+// RAID-5 array fails mid-run, reads of it are served by XOR
+// reconstruction fan-out, GC runs throttled while the rebuild lags its
+// watermark, and the rebuild streams the lost column back through the
+// same bounded device queues as user traffic. The zero value keeps the
+// run healthy.
+type FaultConfig struct {
+	// FailDevice is the array column (0-based, parity included) to fail
+	// when FailAtOp is set.
+	FailDevice int
+	// FailAtOp fires the failure at this user-op count (first op = 1).
+	FailAtOp int64
+	// MTBFOps, when positive, replaces the fixed plan with a seeded
+	// exponential failure schedule with this mean, in ops.
+	MTBFOps int64
+	// RebuildDelayOps delays the rebuild start by this many further
+	// user ops after the failure.
+	RebuildDelayOps int64
+	// RebuildBurst is chunks per rebuild dispatch round (default 8).
+	RebuildBurst int
+	// QueueTimeout bounds one device-queue send attempt before it
+	// counts as a retry (default 2ms).
+	QueueTimeout time.Duration
+	// RetryMax is the number of timed-out attempts before the final
+	// blocking send (default 5); operations are never dropped.
+	RetryMax int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between retries (defaults 50µs / 5ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// DegradedGCWatermark is the rebuild-progress fraction below which
+	// the store runs throttled degraded-mode GC (default 0.5).
+	DegradedGCWatermark float64
+}
+
+func (f FaultConfig) internal() prototype.FaultConfig {
+	return prototype.FaultConfig{
+		FailDevice:          f.FailDevice,
+		FailAtOp:            f.FailAtOp,
+		MTBFOps:             f.MTBFOps,
+		RebuildDelayOps:     f.RebuildDelayOps,
+		RebuildBurst:        f.RebuildBurst,
+		QueueTimeout:        f.QueueTimeout,
+		RetryMax:            f.RetryMax,
+		BackoffBase:         f.BackoffBase,
+		BackoffCap:          f.BackoffCap,
+		DegradedGCWatermark: f.DegradedGCWatermark,
+	}
+}
+
 // PrototypeConfig describes a concurrent prototype run (§4.4): client
 // goroutines issue zipfian 4 KiB writes against a shared store whose
 // chunk flushes are dispatched to bandwidth-modelled SSDs through
@@ -32,30 +82,49 @@ type PrototypeConfig struct {
 	QueueDepth int
 	// Seed drives the client streams.
 	Seed uint64
+	// Fault arms the fault injector; the zero value stays healthy.
+	Fault FaultConfig
 }
 
-// PrototypeResult summarizes a prototype run.
+// PhaseResult summarizes one phase of a fault run (healthy, degraded,
+// rebuilding, rebuilt).
+type PhaseResult struct {
+	Phase     string
+	Ops       int64
+	Elapsed   time.Duration
+	OpsPerSec float64
+	WA        float64
+	P99       time.Duration
+}
+
+// PrototypeResult summarizes a prototype run. The fault fields are
+// populated only when FaultConfig armed the injector and the failure
+// fired; FailedDevice is -1 otherwise.
 type PrototypeResult struct {
 	OpsPerSec     float64
 	Elapsed       time.Duration
 	WA            float64
 	PaddingRatio  float64
 	ChunksWritten int64
+
+	FailedDevice  int
+	FailedAtOp    int64
+	DegradedReads int64
+	RebuildChunks int64
+	LostChunks    int64
+	QueueRetries  int64
+	Phases        []PhaseResult
 }
 
 // RunPrototype executes a concurrent prototype experiment.
 func RunPrototype(c PrototypeConfig) (PrototypeResult, error) {
-	cfg, err := c.Simulator.lssConfig()
-	if err != nil {
-		return PrototypeResult{}, err
-	}
-	sim, err := NewSimulator(c.Simulator)
+	cfg, pol, err := c.Simulator.build()
 	if err != nil {
 		return PrototypeResult{}, err
 	}
 	res, err := prototype.Run(prototype.Config{
 		Store:       cfg,
-		Policy:      sim.policy,
+		Policy:      pol,
 		Clients:     c.Clients,
 		Ops:         c.Ops,
 		Theta:       c.Theta,
@@ -64,24 +133,43 @@ func RunPrototype(c PrototypeConfig) (PrototypeResult, error) {
 		ServiceTime: c.ServiceTime,
 		QueueDepth:  c.QueueDepth,
 		Seed:        c.Seed,
+		Fault:       c.Fault.internal(),
 	})
 	if err != nil {
 		return PrototypeResult{}, err
 	}
-	return PrototypeResult{
+	out := PrototypeResult{
 		OpsPerSec:     res.OpsPerSec,
 		Elapsed:       res.Elapsed,
 		WA:            res.WA,
 		PaddingRatio:  res.PaddingRatio,
 		ChunksWritten: res.ChunksWritten,
-	}, nil
+		FailedDevice:  res.FailedDevice,
+		FailedAtOp:    res.FailedAtOp,
+		DegradedReads: res.DegradedReads,
+		RebuildChunks: res.RebuildChunks,
+		LostChunks:    res.LostChunks,
+		QueueRetries:  res.QueueRetries,
+	}
+	for _, ps := range res.Phases {
+		out.Phases = append(out.Phases, PhaseResult{
+			Phase:     ps.Phase.String(),
+			Ops:       ps.Ops,
+			Elapsed:   ps.Elapsed,
+			OpsPerSec: ps.OpsPerSec,
+			WA:        ps.WA,
+			P99:       ps.P99,
+		})
+	}
+	return out, nil
 }
 
 // PolicyFootprintBytes reports the metadata memory cost of a policy at
 // the given store size after warming it with ops zipfian writes —
-// the Figure 12b comparison.
-func PolicyFootprintBytes(policy string, userBlocks, warmOps int64) (int64, error) {
-	s, err := NewSimulator(SimulatorConfig{UserBlocks: userBlocks, Policy: policy})
+// the Figure 12b comparison. The untyped policy-name constants assign
+// to Policy directly; runtime strings go through ParsePolicy first.
+func PolicyFootprintBytes(policy Policy, userBlocks, warmOps int64) (int64, error) {
+	s, err := NewSimulator(SimulatorConfig{UserBlocks: userBlocks, Policy: string(policy)})
 	if err != nil {
 		return 0, err
 	}
