@@ -1,10 +1,25 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fault bench-telemetry bench-snapshot
+# Every native fuzz target, as pkg:Target pairs (`go test -fuzz` accepts
+# only one matching target per invocation, so `fuzz` loops over these).
+FUZZ_TARGETS := \
+	./internal/lss:FuzzStoreOps \
+	./internal/lss:FuzzRecover \
+	./internal/checker:FuzzOracleOps \
+	./internal/fault:FuzzPlanFire \
+	./internal/fault:FuzzBackoffDelay \
+	./internal/trace:FuzzReadBinary \
+	./internal/trace:FuzzParseMSR \
+	./internal/trace:FuzzParseAli \
+	./internal/trace:FuzzParseTencent
 
-## check: full local gate — vet, build, race-enabled test suite.
-check: vet build race
+.PHONY: check build vet test race fault fuzz paranoid bench-telemetry bench-snapshot
+
+## check: full local gate — vet, build, race-enabled test suite, and a
+## short fuzz smoke of every target on top of the checked-in corpora.
+check: vet build race fuzz
 
 build:
 	$(GO) build ./...
@@ -17,6 +32,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fuzz: give every native fuzz target a real exploration budget
+## (FUZZTIME per target, default 10s) beyond the committed seed corpora.
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; name=$${t##*:}; \
+		echo "== fuzz $$name ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run "^$$name$$" -fuzz "^$$name$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+## paranoid: the oracle-backed correctness suite under the race detector —
+## model-based differential over all six policies, metamorphic relations,
+## the crash-point recovery sweep, and the public Paranoid mode.
+paranoid:
+	$(GO) test -race -run 'Paranoid|Oracle|Mirror|Differential|Reordered|SeedShift|VictimSequence|ExpectedRecovery|DoubleFault|RebuildInterrupted' \
+		. ./internal/checker ./internal/harness ./internal/blockdev ./internal/lss
 
 ## fault: fault-injection / degraded-mode suite under the race detector —
 ## failure schedules, XOR reconstruction, rebuild, retry/backoff, and the

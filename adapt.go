@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adapt/internal/adaptcore"
+	"adapt/internal/checker"
 	"adapt/internal/lss"
 	"adapt/internal/placement"
 	"adapt/internal/sim"
@@ -35,6 +36,16 @@ const (
 	VictimWindowedGreedy = "windowed-greedy"
 	VictimRandomGreedy   = "random-greedy"
 )
+
+// Victims lists every available GC victim selection policy.
+func Victims() []string {
+	return []string{VictimGreedy, VictimCostBenefit, VictimDChoices, VictimWindowedGreedy, VictimRandomGreedy}
+}
+
+// ErrMismatch is the sentinel behind every Paranoid-mode divergence:
+// when the store disagrees with the reference model, Write, Trim,
+// Replay, and Verify return errors wrapping it.
+var ErrMismatch = checker.ErrMismatch
 
 // ADAPTOptions tunes the ADAPT policy; zero values take defaults.
 // The Disable switches support ablation studies.
@@ -79,6 +90,14 @@ type SimulatorConfig struct {
 	OverProvision float64
 	// SLAWindow is the chunk coalescing deadline (default 100 µs).
 	SLAWindow time.Duration
+	// Paranoid arms the correctness oracle: the store runs its full
+	// invariant sweep after every GC cycle and drain, and the simulator
+	// replays every operation through a model-based reference (flat
+	// per-LBA store plus a byte-level RAID mirror), failing fast with an
+	// error wrapping ErrMismatch on any divergence. Costs roughly 40×
+	// in throughput (BenchmarkParanoidReplay) plus a full array mirror
+	// in memory; meant for tests and `make paranoid`, not experiments.
+	Paranoid bool
 	// ADAPT tunes the ADAPT policy (ignored for baselines).
 	ADAPT ADAPTOptions
 }
@@ -131,6 +150,7 @@ func (c SimulatorConfig) build() (lss.Config, lss.Policy, error) {
 		OverProvision: c.OverProvision,
 		SLAWindow:     sim.Time(c.SLAWindow),
 		Victim:        vp,
+		Paranoid:      c.Paranoid,
 	}
 	if cfg.ChunkBlocks == 0 {
 		cfg.ChunkBlocks = 16
@@ -231,8 +251,10 @@ type LatencyMetrics struct {
 // Simulator is a trace-driven log-structured store with a placement
 // policy. It is not safe for concurrent use.
 type Simulator struct {
-	store  *lss.Store
-	policy lss.Policy
+	store     *lss.Store
+	policy    lss.Policy
+	oracle    *checker.Oracle // non-nil iff Paranoid
+	verifyErr error           // first deferred audit failure (Drain)
 }
 
 // NewSimulator builds a simulator for the given configuration.
@@ -241,7 +263,14 @@ func NewSimulator(c SimulatorConfig) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{store: lss.New(cfg, pol), policy: pol}, nil
+	s := &Simulator{store: lss.New(cfg, pol), policy: pol}
+	if c.Paranoid {
+		s.oracle, err = checker.New(s.store, checker.Options{Mirror: true})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // PolicyName returns the active placement policy's name.
@@ -280,26 +309,59 @@ func (s *Simulator) EnableTelemetry(tc TelemetryConfig) *telemetry.Set {
 }
 
 // Write appends user-written blocks starting at lba at the given
-// trace time.
+// trace time. Under Paranoid, a reference-model divergence surfaces
+// here as an error wrapping ErrMismatch.
 func (s *Simulator) Write(lba int64, blocks int, at time.Duration) error {
+	if s.oracle != nil {
+		return s.oracle.Write(lba, blocks, sim.Time(at))
+	}
 	return s.store.Write(lba, blocks, sim.Time(at))
 }
 
 // Read records a user read (workload accounting only).
 func (s *Simulator) Read(lba int64, blocks int, at time.Duration) {
+	if s.oracle != nil {
+		s.oracle.Read(lba, blocks, sim.Time(at))
+		return
+	}
 	s.store.Read(lba, blocks, sim.Time(at))
 }
 
 // Trim discards blocks (TRIM/UNMAP): their live versions become
 // garbage immediately, reclaimable without GC migration.
 func (s *Simulator) Trim(lba int64, blocks int, at time.Duration) error {
+	if s.oracle != nil {
+		return s.oracle.Trim(lba, blocks, sim.Time(at))
+	}
 	return s.store.Trim(lba, blocks, sim.Time(at))
 }
 
 // Drain flushes all buffered chunks, padding remainders; call it when
-// a replay finishes (Replay does this automatically).
+// a replay finishes (Replay does this automatically). Under Paranoid
+// the post-drain audit failure, if any, is held for Verify.
 func (s *Simulator) Drain() {
+	if s.oracle != nil {
+		if err := s.oracle.Drain(s.store.Now() + sim.Second); err != nil && s.verifyErr == nil {
+			s.verifyErr = err
+		}
+		return
+	}
 	s.store.Drain(s.store.Now() + sim.Second)
+}
+
+// Verify runs the deepest correctness audit available right now and
+// reports the first failure, if any. Without Paranoid it sweeps the
+// store's internal invariants; with it, the model-based oracle
+// additionally proves the LBA mapping, per-segment garbage accounting,
+// RAID parity, and every live block's read-back against the reference.
+func (s *Simulator) Verify() error {
+	if s.verifyErr != nil {
+		return s.verifyErr
+	}
+	if s.oracle != nil {
+		return s.oracle.FullCheck()
+	}
+	return s.store.CheckInvariants()
 }
 
 // Metrics returns a snapshot of the run's traffic accounting.

@@ -324,6 +324,46 @@ func (d *DataArray) ReadChunk(row int64, idx int) ([]byte, error) {
 	return d.disks[col][row], nil
 }
 
+// CheckParity verifies that every stripe XORs to zero across all
+// columns — the invariant XOR parity must maintain through writes,
+// failures, and rebuilds. On a degraded array the failed column's
+// contribution comes from the spare when the rebuild (or a
+// post-failure write) has filled the row; rows whose failed-column
+// content is still unknown are vacuously consistent and are skipped.
+// It is O(rows × columns × chunk) and exists for the correctness
+// checker, not the data path.
+func (d *DataArray) CheckParity() error {
+	acc := make([]byte, d.chunkBytes)
+	for row := int64(0); row < d.rows; row++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		known := true
+		for col := 0; col <= d.dataColumns; col++ {
+			chunk := d.disks[col][row]
+			if col == d.failed {
+				chunk = d.spare[row]
+			}
+			if chunk == nil {
+				known = false
+				break
+			}
+			for i, b := range chunk {
+				acc[i] ^= b
+			}
+		}
+		if !known {
+			continue
+		}
+		for i, b := range acc {
+			if b != 0 {
+				return fmt.Errorf("%w: row %d parity mismatch at byte %d", ErrBadStripe, row, i)
+			}
+		}
+	}
+	return nil
+}
+
 // ReconstructColumn recomputes the contents of a lost column for the
 // given stripe row by XOR of all surviving columns — the RAID-5
 // recovery path. With a failed column, only that column can be

@@ -1,0 +1,366 @@
+// Package checker is the correctness-verification subsystem: a
+// deliberately naive reference model that replays the same
+// (LBA, size, timestamp) operation stream as any placement policy and
+// cross-checks the real lss.Store — and, through a byte-accurate RAID
+// mirror, the array beneath it — after every operation window and at
+// end of trace.
+//
+// The model is a flat per-LBA liveness table plus plain counters:
+// trivially correct by construction, with none of the machinery under
+// test (no segments, no GC, no victim index, no coalescing). Anything
+// the store and the model disagree on is a bug in the store, the
+// policy, or the replayer. The paper's headline properties — GC write
+// amplification charged to real user writes, padding accounting, and
+// zero data loss under a single device failure — are exactly the
+// equalities checked here.
+//
+// Three check tiers trade cost for depth:
+//
+//   - Check: O(segments) counter cross-check (user/trim totals, live
+//     block count), run every Options.CheckEvery mutating blocks.
+//   - FullCheck: O(capacity) — live-set equality per LBA, independent
+//     per-segment garbage recount, the store's own CheckInvariants,
+//     and (with Options.Mirror) RAID parity plus byte read-back of
+//     every durable live block.
+//   - Drain: drains the store, then always runs FullCheck.
+//
+// The public API exposes the oracle as SimulatorConfig.Paranoid.
+package checker
+
+import (
+	"errors"
+	"fmt"
+
+	"adapt/internal/blockdev"
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/trace"
+)
+
+// ErrMismatch is wrapped by every divergence the oracle reports, so
+// harnesses can distinguish an oracle verdict from an ordinary replay
+// error with errors.Is.
+var ErrMismatch = errors.New("checker: store diverged from reference model")
+
+func mismatchf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMismatch, fmt.Sprintf(format, args...))
+}
+
+// Options tunes the oracle.
+type Options struct {
+	// CheckEvery runs the cheap counter cross-check every N mutating
+	// blocks (default 64; negative disables).
+	CheckEvery int
+	// FullEvery runs the O(capacity) full cross-check every N mutating
+	// blocks (default 0: only at Drain and explicit FullCheck calls).
+	FullEvery int
+	// Mirror maintains a byte-accurate RAID-5 mirror of every flushed
+	// chunk (via the store's audit sink) and verifies XOR parity and
+	// block-level read-back during full checks. Memory grows with total
+	// chunks written; tests shrink Config.BlockSize to keep it small.
+	// Requires BlockSize >= 17 bytes.
+	Mirror bool
+}
+
+// Oracle pairs an lss.Store with the reference model. Drive all
+// traffic through the oracle's Write/Read/Trim/Drain (or ReplayTrace);
+// mutating the store directly makes the model stale, which the next
+// check reports as a divergence. Not safe for concurrent use, exactly
+// like the store it wraps.
+type Oracle struct {
+	store *lss.Store
+	opts  Options
+
+	live      []bool // reference liveness: written at least once, not trimmed since
+	liveCount int64
+	users     int64 // user blocks accepted by the model
+	trims     int64 // live blocks discarded by the model
+	blocks    int64 // mutating blocks processed (check cadence clock)
+
+	checks, fullChecks int64
+
+	mirror *mirror
+}
+
+// New attaches an oracle to a freshly built store. Attach before any
+// traffic: the model starts empty, and the mirror (when enabled) must
+// observe every chunk flush from the first one.
+func New(store *lss.Store, opts Options) (*Oracle, error) {
+	if opts.CheckEvery == 0 {
+		opts.CheckEvery = 64
+	}
+	cfg := store.Config()
+	if store.WriteClock() != 0 || store.Metrics().UserBlocks != 0 {
+		return nil, fmt.Errorf("checker: oracle must attach to an unused store (write clock %d)", store.WriteClock())
+	}
+	o := &Oracle{
+		store: store,
+		opts:  opts,
+		live:  make([]bool, cfg.UserBlocks),
+	}
+	if opts.Mirror {
+		m, err := newMirror(store)
+		if err != nil {
+			return nil, err
+		}
+		o.mirror = m
+		store.SetAuditSink(m.observe(store))
+	}
+	return o, nil
+}
+
+// Store returns the wrapped store (read-only inspection; drive traffic
+// through the oracle).
+func (o *Oracle) Store() *lss.Store { return o.store }
+
+// MirrorArray exposes the byte mirror's array (nil without
+// Options.Mirror) so fault tests can assert on degraded reads and
+// rebuild progress.
+func (o *Oracle) MirrorArray() *blockdev.DataArray {
+	if o.mirror == nil {
+		return nil
+	}
+	return o.mirror.data
+}
+
+// Checks reports how many cheap and full cross-checks have run.
+func (o *Oracle) Checks() (cheap, full int64) { return o.checks, o.fullChecks }
+
+// Write appends user blocks through the store and the model, then runs
+// any due cross-checks.
+func (o *Oracle) Write(lba int64, blocks int, now sim.Time) error {
+	for i := 0; i < blocks; i++ {
+		if err := o.store.WriteBlock(lba+int64(i), now); err != nil {
+			return err
+		}
+		b := lba + int64(i)
+		if !o.live[b] {
+			o.live[b] = true
+			o.liveCount++
+		}
+		o.users++
+		if err := o.tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read forwards a read (accounting only in both model and store).
+func (o *Oracle) Read(lba int64, blocks int, now sim.Time) {
+	o.store.Read(lba, blocks, now)
+}
+
+// Trim discards blocks through the store and the model.
+func (o *Oracle) Trim(lba int64, blocks int, now sim.Time) error {
+	if err := o.store.Trim(lba, blocks, now); err != nil {
+		return err
+	}
+	for i := int64(0); i < int64(blocks); i++ {
+		if o.live[lba+i] {
+			o.live[lba+i] = false
+			o.liveCount--
+			o.trims++
+		}
+	}
+	for i := 0; i < blocks; i++ {
+		if err := o.tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain flushes the store's open chunks and runs the full cross-check.
+func (o *Oracle) Drain(now sim.Time) error {
+	o.store.Drain(now)
+	return o.FullCheck()
+}
+
+// tick advances the cadence clock and runs due checks.
+func (o *Oracle) tick() error {
+	o.blocks++
+	if o.opts.FullEvery > 0 && o.blocks%int64(o.opts.FullEvery) == 0 {
+		return o.FullCheck()
+	}
+	if o.opts.CheckEvery > 0 && o.blocks%int64(o.opts.CheckEvery) == 0 {
+		return o.Check()
+	}
+	return nil
+}
+
+// Check is the cheap cross-check: model counters against store
+// metrics and the store's O(segments) live-block count.
+func (o *Oracle) Check() error {
+	o.checks++
+	m := o.store.Metrics()
+	if m.UserBlocks != o.users {
+		return mismatchf("store accepted %d user blocks, model %d", m.UserBlocks, o.users)
+	}
+	if m.TrimmedBlocks != o.trims {
+		return mismatchf("store trimmed %d live blocks, model %d", m.TrimmedBlocks, o.trims)
+	}
+	if got := o.store.LiveBlocks(); got != o.liveCount {
+		return mismatchf("store live blocks %d, model %d", got, o.liveCount)
+	}
+	return nil
+}
+
+// FullCheck is the O(capacity) cross-check: per-LBA live-set equality,
+// an independent per-segment valid/garbage recount from the mapping,
+// the store's own invariants (including the victim index), and — with
+// the mirror enabled — RAID parity and byte-level read-back of every
+// durable live block.
+func (o *Oracle) FullCheck() error {
+	o.fullChecks++
+	if err := o.Check(); err != nil {
+		return err
+	}
+	cfg := o.store.Config()
+	segBlocks := cfg.SegmentBlocks()
+	recount := make([]int, o.store.TotalSegments())
+	for lba := int64(0); lba < cfg.UserBlocks; lba++ {
+		seg, slot, mapped := o.store.Location(lba)
+		if mapped != o.live[lba] {
+			return mismatchf("lba %d: store mapped=%v, model live=%v", lba, mapped, o.live[lba])
+		}
+		if !mapped {
+			continue
+		}
+		info, ok := o.store.Slot(seg, slot)
+		if !ok || info.Kind == lss.SlotPad || info.LBA != lba {
+			return mismatchf("lba %d maps to segment %d slot %d holding %+v", lba, seg, slot, info)
+		}
+		if slot >= segBlocks {
+			return mismatchf("lba %d maps past segment end (slot %d)", lba, slot)
+		}
+		recount[seg]++
+	}
+	for id := range recount {
+		view, _ := o.store.Segment(id)
+		if view.State == lss.SegmentFree {
+			if recount[id] != 0 {
+				return mismatchf("free segment %d holds %d mapped blocks", id, recount[id])
+			}
+			continue
+		}
+		if view.Valid != recount[id] {
+			return mismatchf("segment %d: store valid=%d, oracle recount=%d (garbage %d vs %d)",
+				id, view.Valid, recount[id], view.Written-view.Valid, view.Written-recount[id])
+		}
+	}
+	if err := o.store.CheckInvariants(); err != nil {
+		return fmt.Errorf("%w: store invariants: %v", ErrMismatch, err)
+	}
+	if o.mirror != nil {
+		if err := o.mirror.verify(o.store); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailColumn fails an array column in the byte mirror and switches the
+// store into degraded-mode GC, modelling a single-device failure in
+// the middle of a replay. Requires the mirror.
+func (o *Oracle) FailColumn(col int) error {
+	if o.mirror == nil {
+		return fmt.Errorf("checker: FailColumn requires Options.Mirror")
+	}
+	if err := o.mirror.data.FailColumn(col); err != nil {
+		return err
+	}
+	o.store.SetDegraded(true)
+	return nil
+}
+
+// RebuildStep advances the mirror's incremental rebuild; on completion
+// the store leaves degraded mode. Requires the mirror.
+func (o *Oracle) RebuildStep(maxChunks int) (rebuilt int, done bool, err error) {
+	if o.mirror == nil {
+		return 0, false, fmt.Errorf("checker: RebuildStep requires Options.Mirror")
+	}
+	rebuilt, done, err = o.mirror.data.RebuildStep(maxChunks)
+	if err == nil && done {
+		o.store.SetDegraded(false)
+	}
+	return rebuilt, done, err
+}
+
+// ReplayTrace drives the store with a dense trace through the oracle,
+// mirroring trace.Replay's request decomposition, and finishes with
+// Drain's full cross-check.
+func (o *Oracle) ReplayTrace(t *trace.Trace) error {
+	bs := int64(o.store.Config().BlockSize)
+	for i := range t.Records {
+		r := &t.Records[i]
+		lba := r.Offset / bs
+		blocks := int((r.Size + bs - 1) / bs)
+		if blocks < 1 {
+			blocks = 1
+		}
+		if r.Op == trace.OpRead {
+			o.Read(lba, blocks, r.Time)
+			continue
+		}
+		if err := o.Write(lba, blocks, r.Time); err != nil {
+			return fmt.Errorf("oracle replay %s record %d: %w", t.Name, i, err)
+		}
+	}
+	return o.Drain(o.store.Now() + sim.Second)
+}
+
+// RecoveredLoc is one entry of the independent recovery oracle.
+type RecoveredLoc struct {
+	Seg, Slot int
+	Version   int64
+}
+
+// ExpectedRecovery computes, independently of lss.Recover, the mapping
+// a crash at this instant must roll forward to: for every LBA, the
+// highest-versioned durable (flushed) slot, primary or shadow. The
+// crash-point property test sweeps random prefixes and asserts the
+// recovered store's mapping equals this prediction exactly.
+func ExpectedRecovery(s *lss.Store) map[int64]RecoveredLoc {
+	out := make(map[int64]RecoveredLoc)
+	for id := 0; id < s.TotalSegments(); id++ {
+		if view, ok := s.Segment(id); !ok || view.State == lss.SegmentFree {
+			// Free segments keep stale slot images but hold nothing
+			// durable; Recover skips them in its roll-forward (a stale
+			// shadow can outversion its own primary, never a newer write).
+			continue
+		}
+		flushed := s.FlushedSlots(id)
+		for slot := 0; slot < flushed; slot++ {
+			info, ok := s.Slot(id, slot)
+			if !ok || info.Kind == lss.SlotPad {
+				continue
+			}
+			if best, seen := out[info.LBA]; !seen || info.Version > best.Version {
+				out[info.LBA] = RecoveredLoc{Seg: id, Slot: slot, Version: info.Version}
+			}
+		}
+	}
+	return out
+}
+
+// CompareRecovered checks a recovered store's mapping against an
+// ExpectedRecovery prediction taken just before the crash.
+func CompareRecovered(recovered *lss.Store, want map[int64]RecoveredLoc) error {
+	cfg := recovered.Config()
+	for lba := int64(0); lba < cfg.UserBlocks; lba++ {
+		seg, slot, mapped := recovered.Location(lba)
+		exp, ok := want[lba]
+		if mapped != ok {
+			return mismatchf("recovery: lba %d mapped=%v, oracle expected %v", lba, mapped, ok)
+		}
+		if !mapped {
+			continue
+		}
+		if seg != exp.Seg || slot != exp.Slot {
+			return mismatchf("recovery: lba %d recovered to segment %d slot %d, oracle expected %d/%d (version %d)",
+				lba, seg, slot, exp.Seg, exp.Slot, exp.Version)
+		}
+	}
+	return nil
+}

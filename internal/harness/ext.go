@@ -26,21 +26,22 @@ type ExtCell struct {
 	PadRat  float64
 }
 
-func runExtCell(policy string, cfg lss.Config, tr *trace.Trace) (ExtCell, error) {
+func runExtCell(policy, setting string, cfg lss.Config, tr *trace.Trace) (ExtCell, error) {
 	pol, err := BuildPolicy(policy, cfg)
 	if err != nil {
-		return ExtCell{}, err
+		return ExtCell{}, fmt.Errorf("ext cell %s policy %s: %w", setting, policy, err)
 	}
 	store := lss.New(cfg, pol)
 	if err := trace.Replay(store, tr); err != nil {
-		return ExtCell{}, err
+		return ExtCell{}, fmt.Errorf("ext cell %s policy %s: %w", setting, policy, err)
 	}
 	m := store.Metrics()
 	return ExtCell{
-		Policy: policy,
-		WA:     m.EffectiveWA(),
-		GCWA:   m.WA(),
-		PadRat: m.PaddingRatio(),
+		Policy:  policy,
+		Setting: setting,
+		WA:      m.EffectiveWA(),
+		GCWA:    m.WA(),
+		PadRat:  m.PaddingRatio(),
 	}, nil
 }
 
@@ -68,11 +69,10 @@ func ExpChunkSize(sc Scale, policies []string) ([]ExtCell, error) {
 			if cfg.SegmentChunks < 2 {
 				cfg.SegmentChunks = 2
 			}
-			cell, err := runExtCell(pol, cfg, tr)
+			cell, err := runExtCell(pol, fmt.Sprintf("chunk=%dKiB", chunkKiB), cfg, tr)
 			if err != nil {
-				return nil, fmt.Errorf("chunk %dKiB %s: %w", chunkKiB, pol, err)
+				return nil, err
 			}
-			cell.Setting = fmt.Sprintf("chunk=%dKiB", chunkKiB)
 			out = append(out, cell)
 		}
 	}
@@ -95,11 +95,10 @@ func ExpSLAWindow(sc Scale, policies []string) ([]ExtCell, error) {
 		for _, pol := range policies {
 			cfg := StoreConfig(sc.YCSBBlocks, lss.Greedy)
 			cfg.SLAWindow = sim.Time(winUS) * sim.Microsecond
-			cell, err := runExtCell(pol, cfg, tr)
+			cell, err := runExtCell(pol, fmt.Sprintf("sla=%dus", winUS), cfg, tr)
 			if err != nil {
-				return nil, fmt.Errorf("sla %dus %s: %w", winUS, pol, err)
+				return nil, err
 			}
-			cell.Setting = fmt.Sprintf("sla=%dus", winUS)
 			out = append(out, cell)
 		}
 	}
@@ -124,11 +123,10 @@ func ExpVictims(sc Scale, policies []string) ([]ExtCell, error) {
 	for _, v := range victims {
 		for _, pol := range policies {
 			cfg := StoreConfig(sc.YCSBBlocks, v)
-			cell, err := runExtCell(pol, cfg, tr)
+			cell, err := runExtCell(pol, v.String(), cfg, tr)
 			if err != nil {
-				return nil, fmt.Errorf("victim %s %s: %w", v, pol, err)
+				return nil, err
 			}
-			cell.Setting = v.String()
 			out = append(out, cell)
 		}
 	}

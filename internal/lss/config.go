@@ -88,6 +88,14 @@ type Config struct {
 	// scan rescans every segment per GC cycle and exists for
 	// differential tests and benchmarks.
 	LegacyVictimScan bool
+	// Paranoid turns on fail-stop self-verification: CheckInvariants
+	// runs after every GC cycle and at every Drain, and a violation
+	// panics instead of letting corruption propagate. It is O(capacity)
+	// per GC cycle — meant for tests, fuzzing, and oracle-backed
+	// replays (make paranoid), not production runs. The public
+	// SimulatorConfig.Paranoid additionally attaches the full
+	// reference-model oracle from internal/checker.
+	Paranoid bool
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults and

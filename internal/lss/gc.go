@@ -15,6 +15,9 @@ import (
 func (s *Store) runGC() {
 	s.inGC = true
 	defer func() { s.inGC = false }()
+	if s.cfg.Paranoid {
+		defer s.paranoidCheck("after GC cycle")
+	}
 	s.metrics.GCCycles++
 	if s.tracer != nil {
 		s.tracer.Emit(telemetry.GCStart(s.now, len(s.free)))
@@ -430,6 +433,14 @@ func (s *Store) reclaim(seg *segment) {
 	seg.state = segFree
 	s.free = append(s.free, seg.id)
 	s.metrics.SegmentsReclaimed++
+}
+
+// paranoidCheck runs CheckInvariants and panics on a violation; it is
+// the fail-stop behind Config.Paranoid.
+func (s *Store) paranoidCheck(when string) {
+	if err := s.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("lss: paranoid check %s: %v", when, err))
+	}
 }
 
 // CheckInvariants verifies internal consistency; tests call it after

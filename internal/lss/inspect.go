@@ -1,0 +1,147 @@
+package lss
+
+// Read-only inspection API. The correctness checker (internal/checker)
+// rebuilds the store's live-block sets, garbage counts, and recovery
+// winners independently from these views and cross-checks them against
+// the store's own accounting; they are also the seam the metamorphic
+// harness uses to capture victim sequences. Everything here is a
+// snapshot of private state — callers must not retain views across
+// mutating operations.
+
+// SegmentState is the externally visible lifecycle state of a segment.
+type SegmentState uint8
+
+// Segment lifecycle states, in allocation order.
+const (
+	SegmentFree SegmentState = iota
+	SegmentOpen
+	SegmentSealed
+)
+
+// String returns the state name.
+func (st SegmentState) String() string {
+	switch st {
+	case SegmentFree:
+		return "free"
+	case SegmentOpen:
+		return "open"
+	case SegmentSealed:
+		return "sealed"
+	default:
+		return "invalid"
+	}
+}
+
+// SegmentView is a read-only snapshot of one segment's accounting.
+type SegmentView struct {
+	ID      int
+	State   SegmentState
+	Group   GroupID
+	Written int // slots consumed (user/GC/shadow/padding)
+	Valid   int // live (mapped) blocks by the store's own count
+}
+
+// Segment returns a snapshot of segment id, or ok=false when the id is
+// out of range.
+func (s *Store) Segment(id int) (SegmentView, bool) {
+	if id < 0 || id >= len(s.segments) {
+		return SegmentView{}, false
+	}
+	seg := s.segments[id]
+	return SegmentView{
+		ID:      seg.id,
+		State:   SegmentState(seg.state),
+		Group:   seg.group,
+		Written: seg.written,
+		Valid:   seg.valid,
+	}, true
+}
+
+// SlotKind classifies what a written segment slot holds.
+type SlotKind uint8
+
+// Slot kinds.
+const (
+	// SlotPad is zero padding: no block address, never mapped.
+	SlotPad SlotKind = iota
+	// SlotPrimary holds a user- or GC-appended block.
+	SlotPrimary
+	// SlotShadow holds a shadow copy written by cross-group
+	// aggregation; the mapping points at it only after crash recovery.
+	SlotShadow
+)
+
+// SlotInfo describes one written slot of a segment.
+type SlotInfo struct {
+	Kind SlotKind
+	// LBA is the block address the slot holds (primary or shadow);
+	// zero for padding.
+	LBA int64
+	// Version is the monotone append sequence stamped when the slot
+	// was written; recovery's roll-forward picks the highest version
+	// per LBA among durable slots. Zero for padding.
+	Version int64
+}
+
+// Slot returns the decoded contents of the given slot, or ok=false
+// when the slot is out of range or not yet written.
+func (s *Store) Slot(segID, slot int) (SlotInfo, bool) {
+	if segID < 0 || segID >= len(s.segments) || slot < 0 {
+		return SlotInfo{}, false
+	}
+	seg := s.segments[segID]
+	if slot >= seg.written {
+		return SlotInfo{}, false
+	}
+	v := seg.lbas[slot]
+	lba, ok := decodeSlot(v)
+	if !ok {
+		return SlotInfo{Kind: SlotPad}, true
+	}
+	kind := SlotPrimary
+	if v <= shadowBase {
+		kind = SlotShadow
+	}
+	return SlotInfo{Kind: kind, LBA: lba, Version: seg.vers[slot]}, true
+}
+
+// Location returns the physical position the mapping holds for lba, or
+// ok=false when the block is unmapped or out of range.
+func (s *Store) Location(lba int64) (segID, slot int, ok bool) {
+	if lba < 0 || lba >= s.cfg.UserBlocks {
+		return 0, 0, false
+	}
+	loc := s.mapping[lba]
+	if loc < 0 {
+		return 0, 0, false
+	}
+	return int(loc / int64(s.segBlocks)), int(loc % int64(s.segBlocks)), true
+}
+
+// FlushedSlots returns how many slots of the segment are durable: all
+// written slots for sealed segments, and the flushed-chunk prefix
+// (excluding the buffered tail chunk) for open ones. This matches
+// exactly what WriteCheckpoint persists, so an independent recovery
+// oracle can predict Recover's roll-forward.
+func (s *Store) FlushedSlots(segID int) int {
+	if segID < 0 || segID >= len(s.segments) {
+		return 0
+	}
+	seg := s.segments[segID]
+	if seg.state == segOpen {
+		return seg.written - seg.written%s.chunkBlocks
+	}
+	return seg.written
+}
+
+// SetReclaimObserver registers fn to be called with every reclaimed
+// victim's segment id, in reclaim order. The differential harness
+// compares victim sequences across selection paths through it. Pass
+// nil to remove.
+func (s *Store) SetReclaimObserver(fn func(segID int)) {
+	if fn == nil {
+		s.onReclaim = nil
+		return
+	}
+	s.onReclaim = func(seg *segment) { fn(seg.id) }
+}

@@ -174,6 +174,17 @@ func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
 		if segState(st) > segSealed || int(grp) >= len(s.groups) {
 			return nil, fmt.Errorf("%w: segment %d state/group out of range", ErrBadCheckpoint, seg.id)
 		}
+		if segState(st) == segOpen && int(flushed)%s.chunkBlocks != 0 {
+			// WriteCheckpoint truncates open segments to the flushed-chunk
+			// boundary; a ragged count would corrupt chunk accounting on
+			// the next append.
+			return nil, fmt.Errorf("%w: open segment %d flushed %d not chunk-aligned", ErrBadCheckpoint, seg.id, flushed)
+		}
+		if segState(st) == segSealed && int(flushed) != s.segBlocks {
+			// Segments seal only when full; a short sealed segment would
+			// sit in the GC candidate set with slots that never existed.
+			return nil, fmt.Errorf("%w: sealed segment %d has %d/%d slots", ErrBadCheckpoint, seg.id, flushed, s.segBlocks)
+		}
 		seg.state = segState(st)
 		seg.group = GroupID(grp)
 		seg.born = sim.WriteClock(born)
@@ -197,6 +208,14 @@ func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
 			}
 			if lba < 0 || lba >= cfg.UserBlocks {
 				return nil, fmt.Errorf("%w: segment %d slot %d lba %d out of range", ErrBadCheckpoint, seg.id, i, lba)
+			}
+			if seg.state == segFree {
+				// Reclaimed segments keep their stale slot images but hold
+				// no durable data. A stale shadow copy can outversion the
+				// primary it duplicated (the shadow appends after it), never
+				// a newer write, so skipping free segments loses nothing —
+				// and letting one win would map an LBA into the free pool.
+				continue
 			}
 			// Roll-forward: the highest-versioned durable copy wins.
 			if ver > bestVer[lba] {

@@ -123,8 +123,12 @@ type Store struct {
 	snaps   []GroupSnapshot // scratch for advisor callbacks
 
 	// sink, when set, observes every chunk flush (the prototype routes
-	// these to simulated devices).
-	sink ChunkSink
+	// these to simulated devices). auditSink is a second, independent
+	// observer slot reserved for verification (the checker's byte
+	// mirror); it survives SetChunkSink so the oracle composes with
+	// device models.
+	sink      ChunkSink
+	auditSink ChunkSink
 
 	// Telemetry hooks; all nil (no-op) until SetTelemetry.
 	tracer  *telemetry.Tracer
@@ -154,6 +158,12 @@ type ChunkSink func(ChunkWrite)
 
 // SetChunkSink registers a chunk-flush observer. Pass nil to remove.
 func (s *Store) SetChunkSink(sink ChunkSink) { s.sink = sink }
+
+// SetAuditSink registers a verification observer for chunk flushes,
+// independent of the primary sink: the correctness checker mirrors
+// flushed chunks into its byte-accurate array through it while a
+// device model keeps the primary slot. Pass nil to remove.
+func (s *Store) SetAuditSink(sink ChunkSink) { s.auditSink = sink }
 
 // New builds a store with the given configuration and placement
 // policy. If the policy implements Advisor or SegmentObserver those
@@ -290,7 +300,6 @@ func (s *Store) WriteBlock(lba int64, now sim.Time) error {
 		panic(fmt.Sprintf("lss: policy %s placed user block in unknown group %d", s.policy.Name(), g))
 	}
 	s.w++
-	s.metrics.UserBlocks++
 	s.appendBlock(g, lba, kindUser)
 	return nil
 }
@@ -335,6 +344,9 @@ func (s *Store) Drain(now sim.Time) {
 		}
 	}
 	s.rec.Finish(s.now)
+	if s.cfg.Paranoid {
+		s.paranoidCheck("at Drain")
+	}
 }
 
 // unpersistedLBAs returns the block addresses held by gr's
@@ -545,14 +557,20 @@ func (s *Store) flushChunk(gr *group, padBlocks int, at sim.Time) {
 		s.tracer.Emit(telemetry.ChunkFlush(at, int(gr.id), gr.open.id,
 			gr.open.written/s.chunkBlocks-1, s.chunkBlocks-padBlocks, padBlocks))
 	}
-	if s.sink != nil {
-		s.sink(ChunkWrite{
+	if s.sink != nil || s.auditSink != nil {
+		w := ChunkWrite{
 			Group:        gr.id,
 			Segment:      gr.open.id,
 			Chunk:        gr.open.written/s.chunkBlocks - 1,
 			PayloadBytes: payload,
 			PadBytes:     int64(padBlocks) * s.blockBytes,
-		})
+		}
+		if s.sink != nil {
+			s.sink(w)
+		}
+		if s.auditSink != nil {
+			s.auditSink(w)
+		}
 	}
 	gr.armTime = -1
 	gr.persisted = 0
@@ -595,6 +613,10 @@ func (s *Store) appendBlock(g GroupID, lba int64, kind appendKind) {
 		s.mapping[lba] = int64(seg.id)*int64(s.segBlocks) + int64(slot)
 		seg.valid++
 		if kind == kindUser {
+			// Counted here, not in WriteBlock: ensureOpen above may run a
+			// whole GC cycle, and its invariant sweep must not see the
+			// global counter ahead of the per-group one.
+			s.metrics.UserBlocks++
 			gm.UserBlocks++
 			gr.arrivals[slot%s.chunkBlocks] = s.now
 			if gr.armTime < 0 {

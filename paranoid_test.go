@@ -1,0 +1,124 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParanoidReplay runs a full zipfian replay through the public
+// Paranoid mode: every operation is cross-checked against the
+// reference model and byte mirror, and Verify gives the final clean
+// bill. GC must actually run or the oracle proved nothing.
+func TestParanoidReplay(t *testing.T) {
+	sim, err := NewSimulator(SimulatorConfig{
+		UserBlocks:    4 << 10,
+		Policy:        PolicyADAPT,
+		ChunkBlocks:   4,
+		SegmentChunks: 8,
+		OverProvision: 0.25,
+		Paranoid:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateYCSB(YCSBConfig{
+		Blocks: 4 << 10,
+		Writes: 16 << 10,
+		Fill:   true,
+		Theta:  0.99,
+		Seed:   42,
+	})
+	if err := sim.Replay(tr); err != nil {
+		t.Fatalf("paranoid replay: %v", err)
+	}
+	if err := sim.Verify(); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+	if m := sim.Metrics(); m.GCBlocks == 0 {
+		t.Fatalf("GC never ran (WA %.3f); the oracle audited nothing interesting", m.WA)
+	}
+	// Manual traffic after a replay stays under the oracle too.
+	if err := sim.Write(1, 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Trim(1, 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sim.Drain()
+	if err := sim.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkParanoidReplay measures what Paranoid mode costs: the same
+// zipfian replay with the oracle off and on. The ratio goes into
+// EXPERIMENTS.md §Paranoid overhead.
+func BenchmarkParanoidReplay(b *testing.B) {
+	tr := GenerateYCSB(YCSBConfig{
+		Blocks: 4 << 10,
+		Writes: 16 << 10,
+		Fill:   true,
+		Theta:  0.99,
+		Seed:   42,
+	})
+	for _, paranoid := range []bool{false, true} {
+		name := "plain"
+		if paranoid {
+			name = "paranoid"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := NewSimulator(SimulatorConfig{
+					UserBlocks:    4 << 10,
+					Policy:        PolicyADAPT,
+					ChunkBlocks:   4,
+					SegmentChunks: 8,
+					OverProvision: 0.25,
+					Paranoid:      paranoid,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Replay(tr); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParanoidPrototypeFault reruns the concurrent fault-injection
+// prototype with the store's paranoid self-checks armed: the full
+// invariant sweep after every GC cycle and drain now runs inside the
+// degraded/rebuild phases, under the race detector when `make check`
+// drives it.
+func TestParanoidPrototypeFault(t *testing.T) {
+	res, err := RunPrototype(PrototypeConfig{
+		Simulator: SimulatorConfig{
+			UserBlocks: 8 << 10,
+			Policy:     PolicyADAPT,
+			Paranoid:   true,
+		},
+		Clients:     4,
+		Ops:         12000,
+		Theta:       0.99,
+		Fill:        true,
+		ServiceTime: time.Microsecond,
+		QueueDepth:  8,
+		Seed:        7,
+		Fault: FaultConfig{
+			FailDevice:      1,
+			FailAtOp:        3000,
+			RebuildDelayOps: 2000,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedDevice != 1 || res.RebuildChunks == 0 {
+		t.Fatalf("fault path not exercised: %+v", res)
+	}
+}

@@ -35,7 +35,7 @@ func TestParsePolicy(t *testing.T) {
 }
 
 func TestParseVictim(t *testing.T) {
-	for _, name := range []string{VictimGreedy, VictimCostBenefit, VictimDChoices, VictimWindowedGreedy, VictimRandomGreedy} {
+	for _, name := range Victims() {
 		v, err := ParseVictim(name)
 		if err != nil {
 			t.Fatalf("ParseVictim(%q): %v", name, err)
@@ -50,6 +50,70 @@ func TestParseVictim(t *testing.T) {
 	_, err := ParseVictim("bogus")
 	if !errors.Is(err, ErrUnknownVictim) {
 		t.Fatalf("unknown victim error = %v, want ErrUnknownVictim", err)
+	}
+}
+
+// TestNameListingsExhaustive pins the listing functions to the parse
+// layer: every listed name must round-trip through its parser AND
+// build a working simulator, every exported name constant must appear
+// in its listing, and near-miss spellings must be rejected with the
+// right sentinel. A new policy that is added to one side but not the
+// other fails here.
+func TestNameListingsExhaustive(t *testing.T) {
+	wantPolicies := []string{PolicySepGC, PolicyDAC, PolicyWARCIP, PolicyMiDA, PolicySepBIT, PolicyADAPT}
+	wantVictims := []string{VictimGreedy, VictimCostBenefit, VictimDChoices, VictimWindowedGreedy, VictimRandomGreedy}
+	cases := []struct {
+		kind     string
+		listing  []string
+		want     []string
+		parse    func(string) (string, error)
+		sentinel error
+	}{
+		{"policy", Policies(), wantPolicies,
+			func(s string) (string, error) { p, err := ParsePolicy(s); return p.String(), err },
+			ErrUnknownPolicy},
+		{"victim", Victims(), wantVictims,
+			func(s string) (string, error) { v, err := ParseVictim(s); return v.String(), err },
+			ErrUnknownVictim},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			if len(tc.listing) != len(tc.want) {
+				t.Fatalf("listing has %d names, exported constants %d", len(tc.listing), len(tc.want))
+			}
+			listed := map[string]bool{}
+			for i, name := range tc.listing {
+				listed[name] = true
+				if name != tc.want[i] {
+					t.Errorf("listing[%d] = %q, want %q (evaluation order)", i, name, tc.want[i])
+				}
+				got, err := tc.parse(name)
+				if err != nil || got != name {
+					t.Errorf("parse(%q) = (%q, %v), want clean round-trip", name, got, err)
+				}
+				// Every listed name must also survive the constructor.
+				cfg := SimulatorConfig{UserBlocks: 4 << 10}
+				if tc.kind == "policy" {
+					cfg.Policy = name
+				} else {
+					cfg.Victim = name
+				}
+				if _, err := NewSimulator(cfg); err != nil {
+					t.Errorf("NewSimulator with %s %q: %v", tc.kind, name, err)
+				}
+				// Case and whitespace variants are NOT accepted silently.
+				for _, bad := range []string{" " + name, name + " ", "X" + name} {
+					if _, err := tc.parse(bad); !errors.Is(err, tc.sentinel) {
+						t.Errorf("parse(%q) = %v, want sentinel rejection", bad, err)
+					}
+				}
+			}
+			for _, name := range tc.want {
+				if !listed[name] {
+					t.Errorf("exported constant %q missing from listing", name)
+				}
+			}
+		})
 	}
 }
 

@@ -89,7 +89,12 @@ func (t *Trace) Densify(blockSize int64) (*Trace, int64) {
 // Replay drives the simulator with the trace: writes are placed block
 // by block, reads are recorded, and buffered chunks are drained at the
 // end. The trace must fit the simulator's LBA space (see Densify).
+// Under Paranoid the replay runs through the oracle, so a divergence
+// aborts it with an error wrapping ErrMismatch.
 func (s *Simulator) Replay(t *Trace) error {
+	if s.oracle != nil {
+		return s.oracle.ReplayTrace(toInternal(t))
+	}
 	return trace.Replay(s.store, toInternal(t))
 }
 
