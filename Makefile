@@ -13,13 +13,15 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzReadBinary \
 	./internal/trace:FuzzParseMSR \
 	./internal/trace:FuzzParseAli \
-	./internal/trace:FuzzParseTencent
+	./internal/trace:FuzzParseTencent \
+	./internal/server/wire:FuzzWireDecode
 
-.PHONY: check build vet test race fault fuzz paranoid bench-telemetry bench-snapshot
+.PHONY: check build vet test race fault fuzz paranoid bench-telemetry bench-snapshot serve-smoke
 
-## check: full local gate — vet, build, race-enabled test suite, and a
-## short fuzz smoke of every target on top of the checked-in corpora.
-check: vet build race fuzz
+## check: full local gate — vet, build, race-enabled test suite, a
+## short fuzz smoke of every target on top of the checked-in corpora,
+## and an end-to-end boot of the network service.
+check: vet build race fuzz serve-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +68,24 @@ bench-telemetry:
 ##   jq -r 'select(.Action=="output") | .Output' BENCH_<date>.json
 bench-snapshot:
 	{ $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation|BenchmarkFault' -benchmem -benchtime 1x -count 1 . && \
-	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 ./internal/lss ; } \
+	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 ./internal/lss && \
+	  $(GO) test -json -run '^$$' -bench BenchmarkServerRoundtrip -benchmem -benchtime 2000x -count 1 ./internal/server ; } \
 	  > BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+## serve-smoke: boot the network service end-to-end — adaptserve on a
+## loopback port, a short adaptload burst, a telemetry scrape, and a
+## graceful SIGTERM drain.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/adaptserve ./cmd/adaptload; \
+	$$tmp/adaptserve -addr 127.0.0.1:19750 -telemetry 127.0.0.1:19751 -service-us 0 > $$tmp/serve.log 2>&1 & pid=$$!; \
+	sleep 1; \
+	$$tmp/adaptload -addr 127.0.0.1:19750 -tenants 4 -workers 4 -duration 2s > $$tmp/load.log 2>&1; \
+	grep aggregate $$tmp/load.log; \
+	awk '/^aggregate:/ { for (i = 2; i <= NF; i++) if ($$i == "ops/s" && $$(i-1) + 0 > 0) ok = 1 } END { exit !ok }' $$tmp/load.log; \
+	curl -sf http://127.0.0.1:19751/metrics | grep -q srv_requests_total; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q '^final:' $$tmp/serve.log; \
+	echo "serve-smoke OK"

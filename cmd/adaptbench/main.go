@@ -12,12 +12,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"adapt/internal/cli"
 	"adapt/internal/harness"
 	"adapt/internal/lss"
 	"adapt/internal/sim"
@@ -26,23 +26,31 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|telemetry|all")
-	scaleName := flag.String("scale", "small", "experiment scale: small|full")
-	policy := flag.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
-	series := flag.String("series", "", "write telemetry time-series windows (JSONL) to this file")
-	seriesCSV := flag.String("series-csv", "", "write telemetry time-series windows (CSV) to this file")
-	events := flag.String("events", "", "write telemetry event trace (JSONL) to this file")
-	debug := flag.String("debug", "", "serve live telemetry + pprof on this address (e.g. localhost:6060) and block after the run")
-	replay := flag.String("replay", "", "render the stats table from a previously dumped -series JSONL file and exit")
-	window := flag.Duration("window", 10*time.Millisecond, "telemetry window interval (simulated time)")
-	flag.Parse()
+	cmd := cli.New("adaptbench",
+		"adaptbench -exp all -scale small",
+		"adaptbench -exp telemetry -series series.jsonl -events events.jsonl",
+		"adaptbench -replay series.jsonl")
+	fs := cmd.Flags()
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|telemetry|all")
+	scaleName := fs.String("scale", "small", "experiment scale: small|full")
+	policy := fs.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
+	series := fs.String("series", "", "write telemetry time-series windows (JSONL) to this file")
+	seriesCSV := fs.String("series-csv", "", "write telemetry time-series windows (CSV) to this file")
+	events := fs.String("events", "", "write telemetry event trace (JSONL) to this file")
+	debug := fs.String("debug", "", "serve live telemetry + pprof on this address (e.g. localhost:6060) and block after the run")
+	replay := fs.String("replay", "", "render the stats table from a previously dumped -series JSONL file and exit")
+	window := fs.Duration("window", 10*time.Millisecond, "telemetry window interval (simulated time)")
+	cmd.Parse(os.Args[1:])
+	if fs.NArg() != 0 {
+		cmd.UsageErrorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *replay != "" {
 		f, err := os.Open(*replay)
-		fatal(err)
+		cmd.Check(err)
 		ws, err := telemetry.ReadWindowsJSONL(f)
 		f.Close()
-		fatal(err)
+		cmd.Check(err)
 		fmt.Print(harness.RenderWindows(fmt.Sprintf("Telemetry replay — %s (%d windows)", *replay, len(ws)), ws))
 		return
 	}
@@ -54,8 +62,7 @@ func main() {
 	case "full":
 		sc = harness.FullScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		cmd.UsageErrorf("unknown scale %q", *scaleName)
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -70,7 +77,7 @@ func main() {
 	if want("fig3") {
 		ran = true
 		results, err := harness.Fig3(sc, harness.PolicyNames())
-		fatal(err)
+		cmd.Check(err)
 		for _, r := range results {
 			fmt.Println(r.Render())
 		}
@@ -81,7 +88,7 @@ func main() {
 		start := time.Now()
 		grid, err := harness.RunGrid(sc, workload.Profiles(),
 			[]lss.VictimPolicy{lss.Greedy, lss.CostBenefit}, harness.PolicyNames())
-		fatal(err)
+		cmd.Check(err)
 		fmt.Printf("grid complete in %v\n\n", time.Since(start).Round(time.Millisecond))
 		if want("fig8") {
 			fmt.Println(harness.RenderFig8(harness.Fig8(grid)))
@@ -109,49 +116,49 @@ func main() {
 	if want("fig11") {
 		ran = true
 		res, err := harness.Fig11(sc, harness.PolicyNames())
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(res.Render())
 	}
 	if want("fig12") {
 		ran = true
 		res, err := harness.Fig12(sc, harness.PolicyNames(), harness.DefaultFig12Options(sc))
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(res.Render())
 	}
 	if want("streams") {
 		ran = true
 		rows, err := harness.ExpStreams(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT})
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(harness.RenderStreams(rows))
 	}
 	if want("chunk") {
 		ran = true
 		cells, err := harness.ExpChunkSize(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT})
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(harness.RenderExt("Extension — chunk-size sensitivity (YCSB-A, Greedy)", cells))
 	}
 	if want("sla") {
 		ran = true
 		cells, err := harness.ExpSLAWindow(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT})
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(harness.RenderExt("Extension — SLA-window sensitivity (YCSB-A, Greedy)", cells))
 	}
 	if want("victims") {
 		ran = true
 		cells, err := harness.ExpVictims(sc, []string{"sepgc", harness.PolicyADAPT})
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(harness.RenderExt("Extension — victim-selection policies (YCSB-A)", cells))
 	}
 	if want("latency") {
 		ran = true
 		cells, err := harness.ExpLatency(sc, harness.PolicyNames())
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(harness.RenderLatency(cells))
 	}
 	if want("fault") {
 		ran = true
 		res, err := harness.ExpFault(sc, harness.PolicyNames(), harness.DefaultFaultOptions(sc))
-		fatal(err)
+		cmd.Check(err)
 		fmt.Println(res.Render())
 	}
 	if *exp == "telemetry" {
@@ -159,7 +166,7 @@ func main() {
 		ts, res, err := harness.TelemetryRun(sc, *policy, telemetry.Options{
 			WindowInterval: sim.Time(*window),
 		})
-		fatal(err)
+		cmd.Check(err)
 		ws := ts.Recorder.Windows()
 		fmt.Print(harness.RenderWindows(
 			fmt.Sprintf("Telemetry — %s on YCSB-A (%d windows, %d dropped)",
@@ -168,33 +175,32 @@ func main() {
 			res.WA, res.EffectiveWA, 100*res.PaddingRatio)
 		fmt.Print(harness.RenderEventSummary(ts.Tracer))
 		if *series != "" {
-			fatal(writeFile(*series, func(f *os.File) error {
+			cmd.Check(writeFile(*series, func(f *os.File) error {
 				return telemetry.WriteWindowsJSONL(f, ws)
 			}))
 			fmt.Printf("wrote %d windows to %s\n", len(ws), *series)
 		}
 		if *seriesCSV != "" {
-			fatal(writeFile(*seriesCSV, func(f *os.File) error {
+			cmd.Check(writeFile(*seriesCSV, func(f *os.File) error {
 				return telemetry.WriteWindowsCSV(f, ws)
 			}))
 			fmt.Printf("wrote %d windows to %s\n", len(ws), *seriesCSV)
 		}
 		if *events != "" {
-			fatal(writeFile(*events, func(f *os.File) error {
+			cmd.Check(writeFile(*events, func(f *os.File) error {
 				return ts.Tracer.WriteJSONL(f)
 			}))
 			fmt.Printf("wrote %d events to %s\n", ts.Tracer.Len(), *events)
 		}
 		if *debug != "" {
 			_, addr, err := telemetry.Serve(*debug, ts)
-			fatal(err)
+			cmd.Check(err)
 			fmt.Printf("serving telemetry on http://%s/ (metrics, events.jsonl, series.jsonl, debug/pprof); ctrl-c to exit\n", addr)
 			select {}
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		cmd.UsageErrorf("unknown experiment %q", *exp)
 	}
 }
 
@@ -208,11 +214,4 @@ func writeFile(path string, fill func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adaptbench:", err)
-		os.Exit(1)
-	}
 }

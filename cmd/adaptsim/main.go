@@ -9,34 +9,47 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"adapt"
+	"adapt/internal/cli"
 )
 
 func main() {
-	policy := flag.String("policy", adapt.PolicyADAPT, "placement policy: sepgc|dac|warcip|mida|sepbit|adapt")
-	victim := flag.String("victim", adapt.VictimGreedy, "GC victim policy: greedy|cost-benefit|d-choices")
-	tracePath := flag.String("trace", "", "trace file to replay (empty: synthesize YCSB)")
-	format := flag.String("format", "bin", "trace format: msr|ali|tencent|bin")
-	chunkKiB := flag.Int("chunk-kib", 64, "array chunk size in KiB")
-	slaUS := flag.Int("sla-us", 100, "chunk coalescing window in microseconds")
-	op := flag.Float64("op", 0.15, "over-provisioning fraction")
-	ycsbBlocks := flag.Int64("ycsb-blocks", 64<<10, "synthetic workload: block count")
-	ycsbWrites := flag.Int64("ycsb-writes", 512<<10, "synthetic workload: write count")
-	theta := flag.Float64("theta", 0.99, "synthetic workload: zipfian constant")
-	gapUS := flag.Int64("gap-us", 50, "synthetic workload: mean interarrival in microseconds")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+	cmd := cli.New("adaptsim",
+		"adaptsim -policy adapt -victim greedy -trace vol0.csv -format msr",
+		"adaptsim -policy sepbit -ycsb-blocks 65536 -ycsb-writes 500000")
+	fs := cmd.Flags()
+	policy := fs.String("policy", adapt.PolicyADAPT, "placement policy: sepgc|dac|warcip|mida|sepbit|adapt")
+	victim := fs.String("victim", adapt.VictimGreedy, "GC victim policy: greedy|cost-benefit|d-choices")
+	tracePath := fs.String("trace", "", "trace file to replay (empty: synthesize YCSB)")
+	format := fs.String("format", "bin", "trace format: msr|ali|tencent|bin")
+	chunkKiB := fs.Int("chunk-kib", 64, "array chunk size in KiB")
+	slaUS := fs.Int("sla-us", 100, "chunk coalescing window in microseconds")
+	op := fs.Float64("op", 0.15, "over-provisioning fraction")
+	ycsbBlocks := fs.Int64("ycsb-blocks", 64<<10, "synthetic workload: block count")
+	ycsbWrites := fs.Int64("ycsb-writes", 512<<10, "synthetic workload: write count")
+	theta := fs.Float64("theta", 0.99, "synthetic workload: zipfian constant")
+	gapUS := fs.Int64("gap-us", 50, "synthetic workload: mean interarrival in microseconds")
+	seed := fs.Uint64("seed", 1, "random seed")
+	cmd.Parse(os.Args[1:])
+	if fs.NArg() != 0 {
+		cmd.UsageErrorf("unexpected arguments: %v", fs.Args())
+	}
+	if _, err := adapt.ParsePolicy(*policy); err != nil {
+		cmd.UsageErrorf("%v", err)
+	}
+	if _, err := adapt.ParseVictim(*victim); err != nil {
+		cmd.UsageErrorf("%v", err)
+	}
 
 	var tr *adapt.Trace
 	var blocks int64
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
-		fatal(err)
+		cmd.Check(err)
 		defer f.Close()
 		var perr error
 		switch *format {
@@ -49,12 +62,12 @@ func main() {
 		case "bin":
 			tr, perr = adapt.ReadBinaryTrace(f)
 		default:
-			fatal(fmt.Errorf("unknown format %q", *format))
+			cmd.UsageErrorf("unknown trace format %q", *format)
 		}
-		fatal(perr)
+		cmd.Check(perr)
 		tr, blocks = tr.Densify(4096)
 		if blocks == 0 {
-			fatal(fmt.Errorf("trace %s contains no blocks", *tracePath))
+			cmd.Fatalf("trace %s contains no blocks", *tracePath)
 		}
 	} else {
 		blocks = *ycsbBlocks
@@ -76,10 +89,10 @@ func main() {
 		OverProvision: *op,
 		SLAWindow:     time.Duration(*slaUS) * time.Microsecond,
 	})
-	fatal(err)
+	cmd.Check(err)
 
 	start := time.Now()
-	fatal(sim.Replay(tr))
+	cmd.Check(sim.Replay(tr))
 	elapsed := time.Since(start)
 
 	st := tr.Stats(4096)
@@ -106,12 +119,5 @@ func main() {
 	if d, ok := sim.Diagnostics(); ok {
 		fmt.Printf("\nADAPT diagnostics: threshold %.0f blocks, %d adoptions, %d demotions, %d shadow grants\n",
 			d.Threshold, d.Adoptions, d.Demotions, d.ShadowGrants)
-	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adaptsim:", err)
-		os.Exit(1)
 	}
 }

@@ -9,37 +9,51 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
 	"adapt"
+	"adapt/internal/cli"
 )
 
 func main() {
-	profile := flag.String("profile", "ali", "production profile: ali|tencent|msrc")
-	volumes := flag.Int("volumes", 10, "volumes to synthesize")
-	scaleBlocks := flag.Int64("scale-blocks", 32<<10, "per-volume footprint center in 4 KiB blocks")
-	overwrite := flag.Float64("overwrite", 5, "write volume relative to footprint")
-	ycsb := flag.Bool("ycsb", false, "generate a YCSB-A stream instead of a suite")
-	ycsbBlocks := flag.Int64("ycsb-blocks", 64<<10, "YCSB block count")
-	ycsbWrites := flag.Int64("ycsb-writes", 512<<10, "YCSB write count")
-	theta := flag.Float64("theta", 0.99, "YCSB zipfian constant")
-	gapUS := flag.Int64("gap-us", 50, "YCSB mean interarrival (µs)")
-	out := flag.String("out", ".", "output directory")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+	cmd := cli.New("tracegen",
+		"tracegen -profile ali -volumes 50 -out traces/",
+		"tracegen -ycsb -ycsb-blocks 1048576 -ycsb-writes 10485760 -out traces/")
+	fs := cmd.Flags()
+	profile := fs.String("profile", "ali", "production profile: ali|tencent|msrc")
+	volumes := fs.Int("volumes", 10, "volumes to synthesize")
+	scaleBlocks := fs.Int64("scale-blocks", 32<<10, "per-volume footprint center in 4 KiB blocks")
+	overwrite := fs.Float64("overwrite", 5, "write volume relative to footprint")
+	ycsb := fs.Bool("ycsb", false, "generate a YCSB-A stream instead of a suite")
+	ycsbBlocks := fs.Int64("ycsb-blocks", 64<<10, "YCSB block count")
+	ycsbWrites := fs.Int64("ycsb-writes", 512<<10, "YCSB write count")
+	theta := fs.Float64("theta", 0.99, "YCSB zipfian constant")
+	gapUS := fs.Int64("gap-us", 50, "YCSB mean interarrival (µs)")
+	out := fs.String("out", ".", "output directory")
+	seed := fs.Uint64("seed", 1, "random seed")
+	cmd.Parse(os.Args[1:])
+	if fs.NArg() != 0 {
+		cmd.UsageErrorf("unexpected arguments: %v", fs.Args())
+	}
+	if !*ycsb {
+		switch *profile {
+		case adapt.ProfileAli, adapt.ProfileTencent, adapt.ProfileMSRC:
+		default:
+			cmd.UsageErrorf("unknown profile %q", *profile)
+		}
+	}
 
-	fatal(os.MkdirAll(*out, 0o755))
+	cmd.Check(os.MkdirAll(*out, 0o755))
 
 	write := func(tr *adapt.Trace, name string) {
 		path := filepath.Join(*out, name+".bin")
 		f, err := os.Create(path)
-		fatal(err)
-		fatal(tr.WriteBinary(f))
-		fatal(f.Close())
+		cmd.Check(err)
+		cmd.Check(tr.WriteBinary(f))
+		cmd.Check(f.Close())
 		st := tr.Stats(4096)
 		fmt.Printf("%s: %d requests, %d writes, %.2f req/s, footprint %d KiB\n",
 			path, st.Requests, st.Writes, st.ReqPerSec, st.FootprintKiB)
@@ -67,12 +81,5 @@ func main() {
 	})
 	for _, v := range vols {
 		write(v.Generate(), v.Name)
-	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
 	}
 }

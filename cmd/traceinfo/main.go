@@ -9,29 +9,37 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"adapt"
+	"adapt/internal/cli"
 	"adapt/internal/stats"
 )
 
 func main() {
-	format := flag.String("format", "bin", "trace format: msr|ali|tencent|bin")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-format msr|ali|tencent|bin] file...")
-		os.Exit(2)
+	cmd := cli.New("traceinfo",
+		"traceinfo -format msr volume1.csv volume2.csv",
+		"traceinfo -format bin traces/*.bin")
+	fs := cmd.Flags()
+	format := fs.String("format", "bin", "trace format: msr|ali|tencent|bin")
+	cmd.Parse(os.Args[1:])
+	if fs.NArg() == 0 {
+		cmd.UsageErrorf("no trace files given")
+	}
+	switch *format {
+	case "msr", "ali", "tencent", "bin":
+	default:
+		cmd.UsageErrorf("unknown trace format %q", *format)
 	}
 
 	var rates []float64
 	fmt.Printf("%-32s %10s %10s %10s %12s %14s\n",
 		"trace", "requests", "writes", "req/s", "avgWriteKiB", "footprintKiB")
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		f, err := os.Open(path)
-		fatal(err)
+		cmd.Check(err)
 		var tr *adapt.Trace
 		switch *format {
 		case "msr":
@@ -42,11 +50,9 @@ func main() {
 			tr, err = adapt.ParseTencent(f, path)
 		case "bin":
 			tr, err = adapt.ReadBinaryTrace(f)
-		default:
-			fatal(fmt.Errorf("unknown format %q", *format))
 		}
 		f.Close()
-		fatal(err)
+		cmd.Check(err)
 		st := tr.Stats(4096)
 		rates = append(rates, st.ReqPerSec)
 		fmt.Printf("%-32s %10d %10d %10.2f %12.2f %14d\n",
@@ -62,12 +68,5 @@ func main() {
 		}
 		fmt.Printf("\nvolumes: %d   median rate: %.2f req/s   under 10 req/s: %.1f%%\n",
 			len(rates), stats.SortedPercentile(rates, 50), 100*float64(below10)/float64(len(rates)))
-	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
 	}
 }

@@ -1,0 +1,74 @@
+// Package cli standardizes command-line handling across the cmd/
+// binaries so they fail the same way: unknown flags, bad flag values,
+// and invalid configuration print the error plus usage to stderr and
+// exit 2 (the flag package's usage-error convention); runtime failures
+// print the error to stderr and exit 1.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Exit and Stderr are swappable for tests.
+var (
+	Exit             = os.Exit
+	Stderr io.Writer = os.Stderr
+)
+
+// Command wraps one binary's flag set.
+type Command struct {
+	name string
+	fs   *flag.FlagSet
+}
+
+// New creates a command named name whose usage header lists the given
+// example invocations.
+func New(name string, examples ...string) *Command {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(Stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(Stderr, "usage: %s [flags]\n", name)
+		for _, ex := range examples {
+			fmt.Fprintf(Stderr, "  %s\n", ex)
+		}
+		fmt.Fprintln(Stderr, "flags:")
+		fs.PrintDefaults()
+	}
+	return &Command{name: name, fs: fs}
+}
+
+// Flags exposes the underlying flag set for registration.
+func (c *Command) Flags() *flag.FlagSet { return c.fs }
+
+// Parse parses args (excluding the program name). On a parse error the
+// flag package has already printed the error and usage to stderr; the
+// command exits 2.
+func (c *Command) Parse(args []string) {
+	if err := c.fs.Parse(args); err != nil {
+		Exit(2)
+	}
+}
+
+// UsageErrorf reports an invalid flag value or configuration: the
+// error and usage go to stderr and the command exits 2.
+func (c *Command) UsageErrorf(format string, a ...any) {
+	fmt.Fprintf(Stderr, "%s: %s\n", c.name, fmt.Sprintf(format, a...))
+	c.fs.Usage()
+	Exit(2)
+}
+
+// Fatalf reports a runtime failure and exits 1.
+func (c *Command) Fatalf(format string, a ...any) {
+	fmt.Fprintf(Stderr, "%s: %s\n", c.name, fmt.Sprintf(format, a...))
+	Exit(1)
+}
+
+// Check exits 1 with the error when err is non-nil.
+func (c *Command) Check(err error) {
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+}

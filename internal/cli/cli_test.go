@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// capture swaps Exit and Stderr, returning the captured stderr and a
+// pointer to the recorded exit code (-1 when never called). Exit
+// panics with a sentinel so the code under test stops where os.Exit
+// would.
+type exitSentinel int
+
+func capture(t *testing.T) (*bytes.Buffer, *int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := -1
+	oldExit, oldStderr := Exit, Stderr
+	Exit = func(c int) { code = c; panic(exitSentinel(c)) }
+	Stderr = &buf
+	t.Cleanup(func() { Exit, Stderr = oldExit, oldStderr })
+	return &buf, &code
+}
+
+func run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(exitSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+}
+
+func TestParseUnknownFlagExits2WithUsage(t *testing.T) {
+	buf, code := capture(t)
+	c := New("democmd", "democmd -x 1")
+	c.Flags().Int("x", 0, "an int")
+	run(func() { c.Parse([]string{"-bogus"}) })
+	if *code != 2 {
+		t.Fatalf("exit code %d, want 2", *code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "usage: democmd") || !strings.Contains(out, "-bogus") {
+		t.Fatalf("stderr missing usage or error:\n%s", out)
+	}
+}
+
+func TestUsageErrorfExits2WithUsage(t *testing.T) {
+	buf, code := capture(t)
+	c := New("democmd", "democmd -x 1")
+	c.Flags().Int("x", 0, "an int")
+	run(func() { c.Parse([]string{"-x", "7"}) })
+	run(func() { c.UsageErrorf("x must be even, got %d", 7) })
+	if *code != 2 {
+		t.Fatalf("exit code %d, want 2", *code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "democmd: x must be even, got 7") ||
+		!strings.Contains(out, "usage: democmd") ||
+		!strings.Contains(out, "democmd -x 1") {
+		t.Fatalf("stderr missing error, usage, or example:\n%s", out)
+	}
+}
+
+func TestCheckExits1(t *testing.T) {
+	buf, code := capture(t)
+	c := New("democmd")
+	run(func() { c.Check(nil) })
+	if *code != -1 {
+		t.Fatalf("Check(nil) exited with %d", *code)
+	}
+	run(func() { c.Fatalf("boom") })
+	if *code != 1 {
+		t.Fatalf("exit code %d, want 1", *code)
+	}
+	if !strings.Contains(buf.String(), "democmd: boom") {
+		t.Fatalf("stderr missing error: %q", buf.String())
+	}
+}

@@ -1,0 +1,402 @@
+package prototype
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adapt/internal/checker"
+	"adapt/internal/lss"
+	"adapt/internal/sim"
+	"adapt/internal/telemetry"
+)
+
+// Engine is the ingest API for external request sources: it wraps the
+// log-structured store and the bandwidth-modelled device array behind a
+// mutex so network servers (internal/server) and other live producers
+// can drive the same RAID-5 pipeline that Run exercises with its
+// internal clients. Simulated time is wall-derived (time since engine
+// start), so the store's SLA-window padding runs against real request
+// interarrival gaps.
+//
+// All methods are safe for concurrent use. Chunk flushes dispatch to
+// bounded per-device queues under the engine lock, so a saturated
+// device applies backpressure to every producer, exactly as in Run.
+type Engine struct {
+	mu     sync.Mutex
+	store  *lss.Store
+	oracle *checker.Oracle
+	rng    *sim.RNG
+
+	devices []*device
+	devWG   sync.WaitGroup
+	ncols   int
+
+	start        time.Time
+	readService  time.Duration
+	writeService time.Duration
+
+	stripeFill   int
+	parityRow    int64
+	parityChunks int64
+
+	closed bool
+}
+
+// EngineConfig describes an ingest engine.
+type EngineConfig struct {
+	// Store is the store geometry (chunk size, capacity, SLA window).
+	Store lss.Config
+	// Policy is the placement policy instance to drive.
+	Policy lss.Policy
+	// ServiceTime is the modelled device time per chunk write (default
+	// 50 µs ≈ 64 KiB chunks at 1.3 GB/s per SSD).
+	ServiceTime time.Duration
+	// ReadServiceTime is the device time per chunk read (default half
+	// the write service time).
+	ReadServiceTime time.Duration
+	// QueueDepth bounds each device's queue (default 8).
+	QueueDepth int
+	// Fill writes every block sequentially before the engine is
+	// returned, so subsequent traffic runs at full utilization with GC
+	// active, as the paper's prototype does after loading.
+	Fill bool
+	// Telemetry, when set, attaches live instrumentation (store metrics
+	// and events plus per-device counters). The Set must be dedicated to
+	// this engine: instrument names would collide otherwise.
+	Telemetry *telemetry.Set
+	// Verify attaches the correctness oracle from internal/checker: all
+	// traffic is cross-checked against the flat reference model at the
+	// oracle's default cadence, and Close runs the full O(capacity)
+	// cross-check.
+	Verify bool
+	// VerifyMirror additionally maintains the byte-accurate RAID mirror
+	// (requires Verify and BlockSize >= 17); it enables FailColumn and
+	// RebuildStep, and full checks then verify XOR parity plus read-back
+	// of every durable block. Memory grows with chunks written — meant
+	// for tests, not long-running servers.
+	VerifyMirror bool
+}
+
+// ErrEngineClosed is returned by operations on a closed engine.
+var ErrEngineClosed = errors.New("prototype: engine closed")
+
+// BatchWrite is one write of a batched group commit.
+type BatchWrite struct {
+	LBA    int64
+	Blocks int
+}
+
+// NewEngine builds and starts an ingest engine. The caller must Close
+// it to drain open chunks and stop the device workers.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.ServiceTime <= 0 {
+		cfg.ServiceTime = 50 * time.Microsecond
+	}
+	if cfg.ReadServiceTime <= 0 {
+		cfg.ReadServiceTime = cfg.ServiceTime / 2
+	}
+	if cfg.VerifyMirror && !cfg.Verify {
+		return nil, fmt.Errorf("prototype: VerifyMirror requires Verify")
+	}
+	store := lss.New(cfg.Store, cfg.Policy)
+	e := &Engine{
+		store:        store,
+		rng:          sim.NewRNG(0xe116),
+		ncols:        store.Config().DataColumns + 1,
+		start:        time.Now(),
+		readService:  cfg.ReadServiceTime,
+		writeService: cfg.ServiceTime,
+	}
+	if cfg.Verify {
+		o, err := checker.New(store, checker.Options{Mirror: cfg.VerifyMirror})
+		if err != nil {
+			return nil, err
+		}
+		e.oracle = o
+	}
+	e.devices = make([]*device, e.ncols)
+	for i := range e.devices {
+		e.devices[i] = &device{ch: make(chan chunkJob, cfg.QueueDepth)}
+	}
+	if ts := cfg.Telemetry; ts != nil {
+		store.SetTelemetry(ts)
+		if p, ok := cfg.Policy.(interface {
+			SetTelemetry(*telemetry.Set)
+		}); ok {
+			p.SetTelemetry(ts)
+		}
+		for i, d := range e.devices {
+			d.busyNS = ts.Registry.NewCounter(
+				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceBusyPrefix, i),
+				"Modelled device service time consumed")
+			d.chunks = ts.Registry.NewCounter(
+				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceChunksPrefix, i),
+				"Chunk operations serviced")
+			ch := d.ch
+			ts.Registry.NewFuncGauge(
+				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceQueuePrefix, i),
+				"Queued chunk operations", false,
+				func() int64 { return int64(len(ch)) })
+		}
+	}
+	// The sink runs under the engine lock (the store is only entered
+	// with it held); RAID-5 rotation matches Run's.
+	store.SetChunkSink(func(w lss.ChunkWrite) {
+		parityCol := int(e.parityRow % int64(e.ncols))
+		col := e.stripeFill
+		if col >= parityCol {
+			col++
+		}
+		e.devices[col].ch <- chunkJob{payload: w.PayloadBytes, pad: w.PadBytes}
+		e.stripeFill++
+		if e.stripeFill == e.ncols-1 {
+			e.devices[parityCol].ch <- chunkJob{payload: int64(store.Config().ChunkBytes())}
+			e.parityChunks++
+			e.stripeFill = 0
+			e.parityRow++
+		}
+	})
+	for _, d := range e.devices {
+		e.devWG.Add(1)
+		go func(d *device) {
+			defer e.devWG.Done()
+			var virtual time.Duration
+			for job := range d.ch {
+				if job.read {
+					virtual += e.readService
+					d.busyNS.Add(int64(e.readService))
+				} else {
+					virtual += e.writeService
+					d.busyNS.Add(int64(e.writeService))
+				}
+				d.chunks.Inc()
+				d.written++
+				if lag := virtual - time.Since(e.start); lag > 2*time.Millisecond {
+					time.Sleep(lag)
+				}
+			}
+		}(d)
+	}
+	if cfg.Fill {
+		for lba := int64(0); lba < store.Config().UserBlocks; lba++ {
+			if err := e.Write(lba, 1); err != nil {
+				e.abort()
+				return nil, fmt.Errorf("prototype: engine fill: %w", err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// abort stops the device workers without draining the store (used when
+// construction fails after they started).
+func (e *Engine) abort() {
+	e.mu.Lock()
+	e.closed = true
+	for _, d := range e.devices {
+		close(d.ch)
+	}
+	e.mu.Unlock()
+	e.devWG.Wait()
+}
+
+// Config returns the store's effective (defaulted) configuration.
+func (e *Engine) Config() lss.Config { return e.store.Config() }
+
+// Now returns the engine's wall-derived simulated time.
+func (e *Engine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
+
+// Write appends blocks user-written blocks starting at lba.
+func (e *Engine) Write(lba int64, blocks int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	return e.writeLocked(lba, blocks)
+}
+
+// WriteBatch applies a group commit: every write lands back-to-back
+// under one lock acquisition and one timestamp, so a chunk-aligned
+// batch fills whole chunks before the SLA window can force padding.
+func (e *Engine) WriteBatch(ops []BatchWrite) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	for _, op := range ops {
+		if err := e.writeLocked(op.LBA, op.Blocks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) writeLocked(lba int64, blocks int) error {
+	now := sim.Time(time.Since(e.start))
+	if e.oracle != nil {
+		return e.oracle.Write(lba, blocks, now)
+	}
+	return e.store.Write(lba, blocks, now)
+}
+
+// Read accounts a user read and consumes modelled device read time on
+// one column (the store never materializes data bytes; callers keep
+// payloads in their own data plane).
+func (e *Engine) Read(lba int64, blocks int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	now := sim.Time(time.Since(e.start))
+	if e.oracle != nil {
+		e.oracle.Read(lba, blocks, now)
+	} else {
+		e.store.Read(lba, blocks, now)
+	}
+	e.devices[e.rng.Intn(len(e.devices))].ch <- chunkJob{read: true}
+	return nil
+}
+
+// Trim discards blocks (TRIM/UNMAP).
+func (e *Engine) Trim(lba int64, blocks int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	now := sim.Time(time.Since(e.start))
+	if e.oracle != nil {
+		return e.oracle.Trim(lba, blocks, now)
+	}
+	return e.store.Trim(lba, blocks, now)
+}
+
+// FailColumn fails one array column in the verification mirror and
+// switches the store into degraded-mode GC. Requires VerifyMirror.
+func (e *Engine) FailColumn(col int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if e.oracle == nil {
+		return fmt.Errorf("prototype: FailColumn requires EngineConfig.Verify with VerifyMirror")
+	}
+	return e.oracle.FailColumn(col)
+}
+
+// RebuildStep advances the mirror's incremental rebuild by at most
+// maxChunks; when the rebuild completes the store leaves degraded mode.
+// Requires VerifyMirror.
+func (e *Engine) RebuildStep(maxChunks int) (rebuilt int, done bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, false, ErrEngineClosed
+	}
+	if e.oracle == nil {
+		return 0, false, fmt.Errorf("prototype: RebuildStep requires EngineConfig.Verify with VerifyMirror")
+	}
+	return e.oracle.RebuildStep(maxChunks)
+}
+
+// Degraded reports whether the store is running degraded-mode GC.
+func (e *Engine) Degraded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Degraded()
+}
+
+// EngineStats is a point-in-time snapshot of the engine's traffic
+// accounting.
+type EngineStats struct {
+	UserBlocks, GCBlocks, ShadowBlocks, PaddingBlocks int64
+	ReadBlocks, TrimmedBlocks                         int64
+	// PaddedChunks counts chunk flushes that carried any zero padding —
+	// the counter the batching ON/OFF comparison watches.
+	PaddedChunks int64
+	ChunkFlushes int64
+	ParityChunks int64
+	GCCycles     int64
+	FreeSegments int
+	WA           float64
+	EffectiveWA  float64
+	PaddingRatio float64
+}
+
+// Stats returns a snapshot of the engine's accounting.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.store.Metrics()
+	st := EngineStats{
+		UserBlocks:    m.UserBlocks,
+		GCBlocks:      m.GCBlocks,
+		ShadowBlocks:  m.ShadowBlocks,
+		PaddingBlocks: m.PaddingBlocks,
+		ReadBlocks:    m.ReadBlocks,
+		TrimmedBlocks: m.TrimmedBlocks,
+		ParityChunks:  e.parityChunks,
+		GCCycles:      m.GCCycles,
+		FreeSegments:  e.store.FreeSegments(),
+		WA:            m.WA(),
+		EffectiveWA:   m.EffectiveWA(),
+		PaddingRatio:  m.PaddingRatio(),
+	}
+	for i := range m.PerGroup {
+		st.PaddedChunks += m.PerGroup[i].PaddingEvents
+		st.ChunkFlushes += m.PerGroup[i].ChunkFlushes
+	}
+	return st
+}
+
+// Drain pads and flushes every open chunk. With Verify it also runs the
+// oracle's full O(capacity) cross-check (and, with VerifyMirror, RAID
+// parity plus byte read-back).
+func (e *Engine) Drain() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	return e.drainLocked()
+}
+
+func (e *Engine) drainLocked() error {
+	now := sim.Time(time.Since(e.start))
+	if e.oracle != nil {
+		return e.oracle.Drain(now)
+	}
+	e.store.Drain(now)
+	return nil
+}
+
+// Close drains the store, stops the device workers, and (with Verify)
+// runs the final full cross-check. The engine rejects all traffic
+// afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	err := e.drainLocked()
+	e.closed = true
+	for _, d := range e.devices {
+		close(d.ch)
+	}
+	e.mu.Unlock()
+	e.devWG.Wait()
+	if ierr := e.store.CheckInvariants(); err == nil && ierr != nil {
+		err = fmt.Errorf("prototype: engine close invariants: %w", ierr)
+	}
+	return err
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"runtime"
+	"time"
+
+	"adapt/internal/prototype"
+)
+
+// batchItem is one WRITE waiting in a volume's group commit.
+type batchItem struct {
+	lba     int64 // volume-relative
+	blocks  int
+	payload []byte
+	done    func(err error)
+}
+
+// batcher coalesces one volume's small writes into chunk-aligned group
+// commits: writes accumulate until they fill a whole array chunk (or
+// more) or until the oldest has waited BatchTimeout — the serving-layer
+// twin of the paper's SLA-driven padding deadline. A full batch lands
+// in the store back-to-back under a single engine lock acquisition and
+// timestamp, so the open chunk fills before the store's own SLA window
+// can force zero padding; a timed-out partial batch commits small and
+// leaves padding to the store, exactly as an unfilled chunk would on
+// the array.
+type batcher struct {
+	vol       *volume
+	eng       *prototype.Engine
+	srv       *Server
+	timeout   time.Duration
+	maxBlocks int
+
+	ch      chan batchItem
+	flushCh chan chan struct{}
+}
+
+func newBatcher(srv *Server, vol *volume, timeout time.Duration, maxBlocks, depth int) *batcher {
+	b := &batcher{
+		vol:       vol,
+		eng:       srv.eng,
+		srv:       srv,
+		timeout:   timeout,
+		maxBlocks: maxBlocks,
+		ch:        make(chan batchItem, depth),
+		flushCh:   make(chan chan struct{}),
+	}
+	srv.batWG.Add(1)
+	go func() {
+		defer srv.batWG.Done()
+		b.run()
+	}()
+	return b
+}
+
+// enqueue hands a write to the batcher. The item's done callback fires
+// exactly once, after the group commit that includes it.
+func (b *batcher) enqueue(it batchItem) { b.ch <- it }
+
+// flush commits everything pending and returns once it is applied.
+func (b *batcher) flush() {
+	ack := make(chan struct{})
+	b.flushCh <- ack
+	<-ack
+}
+
+// quiesceYields bounds the yield-poll window after the submission
+// stream goes quiet: once this many consecutive scheduler yields see
+// no new write, the group commits early rather than waiting out the
+// full deadline. Kernel timers are far too coarse for sub-millisecond
+// group-commit deadlines (observed granularity >1 ms), so the batcher
+// never parks on a timer in the hot path; in a closed-loop pipeline a
+// quiet channel means every in-flight write has already joined the
+// batch and waiting longer buys nothing.
+const quiesceYields = 16
+
+func (b *batcher) run() {
+	var pending []batchItem
+	var blocks int
+
+	apply := func() {
+		if len(pending) == 0 {
+			return
+		}
+		b.commit(pending, blocks)
+		pending = pending[:0]
+		blocks = 0
+	}
+
+	// drainCh closes when the server shuts down; from then on every
+	// write commits immediately so no ack waits out the group-commit
+	// deadline during drain.
+	drainCh := b.srv.drainCh
+	immediate := false
+	for {
+		select {
+		case it, ok := <-b.ch:
+			if !ok {
+				return // channel empty: nothing pending to drain
+			}
+			pending = append(pending, it)
+			blocks += it.blocks
+			if !immediate {
+				closed := b.gather(&pending, &blocks)
+				apply()
+				if closed {
+					return
+				}
+			} else {
+				apply()
+			}
+		case ack := <-b.flushCh:
+			// The barrier must cover writes already sitting in b.ch: the
+			// conn reader enqueues a write before it can dispatch the
+			// tenant's following FLUSH, but this select has no ordering
+			// between the two channels.
+			chClosed := b.drainQueued(&pending, &blocks)
+			apply()
+			close(ack)
+			if chClosed {
+				return
+			}
+		case <-drainCh:
+			drainCh = nil // fire once; the select case disables itself
+			immediate = true
+		}
+	}
+}
+
+// drainQueued moves every already-buffered write into the open batch
+// without blocking. Returns true when b.ch closed.
+func (b *batcher) drainQueued(pending *[]batchItem, blocks *int) (closed bool) {
+	for {
+		select {
+		case it, ok := <-b.ch:
+			if !ok {
+				return true
+			}
+			*pending = append(*pending, it)
+			*blocks += it.blocks
+		default:
+			return false
+		}
+	}
+}
+
+// gather grows the open batch until it fills maxBlocks, the submission
+// stream quiesces, or the group-commit deadline passes — whichever
+// comes first. Returns true when b.ch closed mid-gather.
+func (b *batcher) gather(pending *[]batchItem, blocks *int) (closed bool) {
+	deadline := time.Now().Add(b.timeout)
+	idle := 0
+	for *blocks < b.maxBlocks && idle < quiesceYields {
+		select {
+		case it, ok := <-b.ch:
+			if !ok {
+				return true
+			}
+			*pending = append(*pending, it)
+			*blocks += it.blocks
+			idle = 0
+		default:
+			if !time.Now().Before(deadline) {
+				return false
+			}
+			runtime.Gosched()
+			idle++
+		}
+	}
+	return false
+}
+
+// commit applies one group commit: payload bytes land in the volume's
+// data plane, then every write hits the store under one engine lock
+// hold, then every waiter is acked.
+func (b *batcher) commit(items []batchItem, blocks int) {
+	ops := make([]prototype.BatchWrite, len(items))
+	for i := range items {
+		b.vol.writeData(items[i].lba, items[i].payload)
+		ops[i] = prototype.BatchWrite{LBA: b.vol.base + items[i].lba, Blocks: items[i].blocks}
+	}
+	err := b.eng.WriteBatch(ops)
+	b.vol.batches.Add(1)
+	b.vol.batchedWrites.Add(int64(len(items)))
+	b.srv.met.batches.Inc()
+	b.srv.met.batchedWrites.Add(int64(len(items)))
+	b.srv.met.batchFill.Observe(int64(blocks))
+	for i := range items {
+		items[i].done(err)
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/harness"
+	"adapt/internal/lss"
+	"adapt/internal/prototype"
+)
+
+// BenchmarkServerRoundtrip measures acknowledged 4 KiB writes over real
+// loopback TCP: one iteration is one client write round-trip, spread
+// across the tenant fleet. The batch=on/off pair exposes the cost and
+// the padding benefit of chunk-aligned group commits at each tenant
+// count.
+func BenchmarkServerRoundtrip(b *testing.B) {
+	for _, tenants := range []int{1, 8, 64} {
+		for _, batch := range []bool{true, false} {
+			b.Run(fmt.Sprintf("tenants=%d/batch=%v", tenants, batch), func(b *testing.B) {
+				benchRoundtrip(b, tenants, batch)
+			})
+		}
+	}
+}
+
+func benchRoundtrip(b *testing.B, tenants int, batch bool) {
+	cfg := harness.StoreConfig(64<<10, lss.Greedy)
+	pol, err := harness.BuildPolicy(harness.PolicyADAPT, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := prototype.NewEngine(prototype.EngineConfig{Store: cfg, Policy: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(Config{Engine: eng, Volumes: tenants, Batch: batch, MaxInflight: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	clients := make([]*Client, tenants)
+	for t := range clients {
+		c, err := Dial(ln.Addr().String(), uint32(t))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[t] = c
+	}
+	payload := make([]byte, cfg.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	volBlocks := srv.VolumeBlocks()
+
+	b.SetBytes(int64(cfg.BlockSize))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for t, c := range clients {
+		n := b.N / tenants
+		if t < b.N%tenants {
+			n++
+		}
+		wg.Add(1)
+		go func(c *Client, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := c.Write(int64(i)%volBlocks, payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	for _, c := range clients {
+		c.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,529 @@
+// Package server is the network block-service layer: a TCP front-end
+// that multiplexes many tenant volumes onto one shared ADAPT array.
+// Each connection speaks the length-prefixed binary protocol from
+// internal/server/wire (READ/WRITE/TRIM/FLUSH/STAT with request IDs
+// for out-of-order completion). Per-tenant admission control bounds
+// inflight ops with typed backpressure instead of unbounded queuing,
+// and a per-volume write batcher coalesces small writes into
+// chunk-aligned group commits whose deadline mirrors the paper's
+// SLA-driven padding window. The package also provides the matching
+// Go client (Client) used by cmd/adaptload and the tests.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adapt/internal/prototype"
+	"adapt/internal/server/wire"
+	"adapt/internal/telemetry"
+)
+
+// Config describes a block service instance.
+type Config struct {
+	// Engine is the shared storage engine all volumes land on. The
+	// server drives it but does not own it: callers Close it after
+	// Shutdown.
+	Engine *prototype.Engine
+	// Volumes carves the engine's LBA space into this many equal tenant
+	// volumes (volume IDs 0..Volumes-1).
+	Volumes int
+	// MaxInflight bounds admitted inflight ops per volume; further
+	// requests are rejected with StatusBackpressure (default 64).
+	MaxInflight int
+	// Batch enables the per-volume write batcher.
+	Batch bool
+	// BatchTimeout is the group-commit deadline: the longest a batched
+	// write may wait for its chunk to fill — the serving-layer
+	// equivalent of the paper's aggregation (padding) SLA. Default: the
+	// store's SLA window, read as wall time.
+	BatchTimeout time.Duration
+	// BatchBlocks is the group-commit size target in blocks (default:
+	// the store's chunk size, so a full batch fills a whole chunk).
+	BatchBlocks int
+	// IdleTimeout closes a connection that sends no request for this
+	// long (default 5m; negative disables).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (default 30s; negative
+	// disables).
+	WriteTimeout time.Duration
+	// Telemetry, when set, registers server instruments (connections,
+	// per-opcode requests, backpressure, batching, bytes) on the same
+	// set the engine uses.
+	Telemetry *telemetry.Set
+}
+
+// metrics bundles the server's telemetry instruments; every field is
+// nil (a no-op) when Config.Telemetry is unset.
+type metrics struct {
+	conns         *telemetry.Gauge
+	reqs          [6]*telemetry.Counter // indexed by wire.Op
+	backpressure  *telemetry.Counter
+	batches       *telemetry.Counter
+	batchedWrites *telemetry.Counter
+	bytesIn       *telemetry.Counter
+	bytesOut      *telemetry.Counter
+	batchFill     *telemetry.Histogram
+}
+
+// Server is a multi-tenant block service over one storage engine.
+type Server struct {
+	cfg  Config
+	eng  *prototype.Engine
+	vols []*volume
+	met  metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	// drainCh closes when Shutdown starts; batchers switch to
+	// commit-immediately so parked writes ack without waiting out their
+	// group-commit deadline.
+	drainCh chan struct{}
+
+	connWG sync.WaitGroup
+	batWG  sync.WaitGroup
+
+	requests  atomic.Int64
+	responses atomic.Int64
+}
+
+// New builds a server over the engine. Volume geometry is fixed for the
+// server's lifetime: the engine's LBA space is split into Config.Volumes
+// equal volumes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	if cfg.Volumes < 1 {
+		return nil, errors.New("server: need at least one volume")
+	}
+	store := cfg.Engine.Config()
+	volBlocks := store.UserBlocks / int64(cfg.Volumes)
+	if volBlocks < 1 {
+		return nil, fmt.Errorf("server: %d volumes over %d blocks leaves empty volumes",
+			cfg.Volumes, store.UserBlocks)
+	}
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.BatchBlocks < 1 {
+		cfg.BatchBlocks = store.ChunkBlocks
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = time.Duration(store.SLAWindow)
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		conns:   make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{}),
+	}
+	if ts := cfg.Telemetry; ts != nil {
+		s.met.conns = ts.Registry.NewGauge(telemetry.MetricServerConns, "Open client connections")
+		for _, op := range []wire.Op{wire.OpRead, wire.OpWrite, wire.OpTrim, wire.OpFlush, wire.OpStat} {
+			s.met.reqs[op] = ts.Registry.NewCounter(
+				fmt.Sprintf("%s{op=\"%s\"}", telemetry.MetricServerRequestsPrefix, op),
+				"Requests received by opcode")
+		}
+		s.met.backpressure = ts.Registry.NewCounter(telemetry.MetricServerBackpressure,
+			"Requests rejected by per-tenant admission control")
+		s.met.batches = ts.Registry.NewCounter(telemetry.MetricServerBatches,
+			"Write-batcher group commits")
+		s.met.batchedWrites = ts.Registry.NewCounter(telemetry.MetricServerBatchedWrites,
+			"WRITE requests committed through the batcher")
+		s.met.bytesIn = ts.Registry.NewCounter(telemetry.MetricServerBytesIn,
+			"WRITE payload bytes received")
+		s.met.bytesOut = ts.Registry.NewCounter(telemetry.MetricServerBytesOut,
+			"READ payload bytes sent")
+		bounds := make([]int64, 0, 8)
+		for b := int64(1); b <= int64(cfg.BatchBlocks); b *= 2 {
+			bounds = append(bounds, b)
+		}
+		s.met.batchFill = ts.Registry.NewHistogram(telemetry.MetricServerBatchFill,
+			"Blocks per group commit", bounds)
+	}
+	s.vols = make([]*volume, cfg.Volumes)
+	for i := range s.vols {
+		v := newVolume(uint32(i), int64(i)*volBlocks, volBlocks, store.BlockSize, cfg.MaxInflight)
+		if cfg.Batch {
+			v.bat = newBatcher(s, v, cfg.BatchTimeout, cfg.BatchBlocks, cfg.MaxInflight)
+		}
+		s.vols[i] = v
+	}
+	return s, nil
+}
+
+// Volumes returns the number of tenant volumes.
+func (s *Server) Volumes() int { return len(s.vols) }
+
+// VolumeBlocks returns the per-volume LBA count.
+func (s *Server) VolumeBlocks() int64 { return s.vols[0].blocks }
+
+// Serve accepts connections on ln until Shutdown closes it. It always
+// returns a nil error after a graceful Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		if s.draining.Load() {
+			conn.SetReadDeadline(time.Now()) // drain immediately
+		}
+		s.mu.Unlock()
+		s.met.conns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: new requests are refused with
+// StatusShuttingDown, every already-received request is completed and
+// acked, pending group commits are applied, and connections close. The
+// engine is left open for the caller.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.drainCh)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		// Unblock readers parked on idle connections; in-flight work
+		// still completes and is acked before the connection closes.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		for _, v := range s.vols {
+			if v.bat != nil {
+				close(v.bat.ch)
+			}
+		}
+		s.batWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleConn runs one connection: a reader loop decoding requests and a
+// writer goroutine serializing (possibly out-of-order) responses.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.met.conns.Add(-1)
+		conn.Close()
+	}()
+
+	respCh := make(chan []byte, 4*s.cfg.MaxInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.connWriter(conn, respCh)
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var pending sync.WaitGroup
+	for {
+		// Arm the idle deadline only when the next read will hit the
+		// socket; requests already buffered don't reset idleness and
+		// skip the per-op deadline bookkeeping.
+		if s.cfg.IdleTimeout > 0 && br.Buffered() == 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			// EOF, idle/drain deadline, or a malformed frame: the stream
+			// cannot be trusted past a protocol error, so the connection
+			// drains and closes either way.
+			break
+		}
+		pending.Add(1)
+		delivered := false
+		respond := func(resp *wire.Response) {
+			if delivered {
+				panic("server: double response to one request")
+			}
+			delivered = true
+			respCh <- wire.AppendResponse(nil, resp)
+			pending.Done()
+		}
+		s.dispatch(req, respond)
+	}
+	pending.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// connWriter writes encoded response frames, flushing when the queue
+// momentarily empties. After a write failure it keeps draining the
+// channel so responders never block on a dead connection.
+func (s *Server) connWriter(conn net.Conn, respCh <-chan []byte) {
+	buf := make([]byte, 0, 64<<10)
+	broken := false
+	flush := func() {
+		if broken || len(buf) == 0 {
+			return
+		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if _, err := conn.Write(buf); err != nil {
+			broken = true
+		}
+		buf = buf[:0]
+	}
+	for frame := range respCh {
+		if broken {
+			continue
+		}
+		buf = append(buf, frame...)
+		s.responses.Add(1)
+		if len(respCh) == 0 || len(buf) >= 48<<10 {
+			flush()
+		}
+	}
+	flush()
+}
+
+// errResp builds a non-OK response carrying the detail as payload.
+func errResp(req *wire.Request, status wire.Status, detail string) *wire.Response {
+	return &wire.Response{Op: req.Op, Status: status, ID: req.ID, Payload: []byte(detail)}
+}
+
+func okResp(req *wire.Request) *wire.Response {
+	return &wire.Response{Op: req.Op, Status: wire.StatusOK, ID: req.ID}
+}
+
+// dispatch routes one decoded request. respond must be called exactly
+// once, possibly from another goroutine (batched writes).
+func (s *Server) dispatch(req wire.Request, respond func(*wire.Response)) {
+	s.requests.Add(1)
+	s.met.reqs[req.Op].Inc()
+	if s.draining.Load() {
+		respond(errResp(&req, wire.StatusShuttingDown, "server draining"))
+		return
+	}
+	if req.Op == wire.OpStat {
+		respond(&wire.Response{
+			Op: req.Op, Status: wire.StatusOK, ID: req.ID,
+			Payload: wire.AppendStats(nil, s.stats()),
+		})
+		return
+	}
+	if req.Volume >= uint32(len(s.vols)) {
+		respond(errResp(&req, wire.StatusBadVolume,
+			fmt.Sprintf("volume %d of %d", req.Volume, len(s.vols))))
+		return
+	}
+	vol := s.vols[req.Volume]
+	if !vol.admit() {
+		s.met.backpressure.Inc()
+		respond(errResp(&req, wire.StatusBackpressure,
+			fmt.Sprintf("volume %d inflight limit %d", vol.id, cap(vol.sem))))
+		return
+	}
+	finish := func(resp *wire.Response) {
+		vol.release()
+		respond(resp)
+	}
+	switch req.Op {
+	case wire.OpWrite:
+		s.handleWrite(vol, req, finish)
+	case wire.OpRead:
+		s.handleRead(vol, req, finish)
+	case wire.OpTrim:
+		s.handleTrim(vol, req, finish)
+	case wire.OpFlush:
+		s.handleFlush(vol, req, finish)
+	default:
+		finish(errResp(&req, wire.StatusBadRequest, "unhandled opcode"))
+	}
+}
+
+func (s *Server) handleWrite(vol *volume, req wire.Request, finish func(*wire.Response)) {
+	if req.Count < 1 {
+		finish(errResp(&req, wire.StatusBadRequest, "zero block count"))
+		return
+	}
+	if !vol.inRange(req.LBA, req.Count) {
+		finish(errResp(&req, wire.StatusOutOfRange,
+			fmt.Sprintf("write [%d,%d) beyond %d blocks", req.LBA, req.LBA+uint64(req.Count), vol.blocks)))
+		return
+	}
+	if want := int(req.Count) * vol.blockBytes; len(req.Payload) != want {
+		finish(errResp(&req, wire.StatusBadRequest,
+			fmt.Sprintf("payload %d bytes, want %d", len(req.Payload), want)))
+		return
+	}
+	vol.writes.Add(1)
+	vol.writeBlocks.Add(int64(req.Count))
+	s.met.bytesIn.Add(int64(len(req.Payload)))
+	lba := int64(req.LBA)
+	if vol.bat != nil && req.Flags&wire.FlagNoBatch == 0 {
+		vol.bat.enqueue(batchItem{
+			lba:     lba,
+			blocks:  int(req.Count),
+			payload: req.Payload,
+			done: func(err error) {
+				if err != nil {
+					finish(errResp(&req, wire.StatusInternal, err.Error()))
+					return
+				}
+				finish(okResp(&req))
+			},
+		})
+		return
+	}
+	vol.writeData(lba, req.Payload)
+	if err := s.eng.Write(vol.base+lba, int(req.Count)); err != nil {
+		finish(errResp(&req, wire.StatusInternal, err.Error()))
+		return
+	}
+	finish(okResp(&req))
+}
+
+func (s *Server) handleRead(vol *volume, req wire.Request, finish func(*wire.Response)) {
+	if req.Count < 1 {
+		finish(errResp(&req, wire.StatusBadRequest, "zero block count"))
+		return
+	}
+	if !vol.inRange(req.LBA, req.Count) {
+		finish(errResp(&req, wire.StatusOutOfRange,
+			fmt.Sprintf("read [%d,%d) beyond %d blocks", req.LBA, req.LBA+uint64(req.Count), vol.blocks)))
+		return
+	}
+	vol.reads.Add(1)
+	vol.readBlocks.Add(int64(req.Count))
+	if err := s.eng.Read(vol.base+int64(req.LBA), int(req.Count)); err != nil {
+		finish(errResp(&req, wire.StatusInternal, err.Error()))
+		return
+	}
+	payload := vol.readData(int64(req.LBA), int(req.Count))
+	s.met.bytesOut.Add(int64(len(payload)))
+	finish(&wire.Response{Op: req.Op, Status: wire.StatusOK, ID: req.ID, Count: req.Count, Payload: payload})
+}
+
+func (s *Server) handleTrim(vol *volume, req wire.Request, finish func(*wire.Response)) {
+	if req.Count < 1 {
+		finish(errResp(&req, wire.StatusBadRequest, "zero block count"))
+		return
+	}
+	if !vol.inRange(req.LBA, req.Count) {
+		finish(errResp(&req, wire.StatusOutOfRange,
+			fmt.Sprintf("trim [%d,%d) beyond %d blocks", req.LBA, req.LBA+uint64(req.Count), vol.blocks)))
+		return
+	}
+	vol.trims.Add(1)
+	vol.trimBlocks.Add(int64(req.Count))
+	if err := s.eng.Trim(vol.base+int64(req.LBA), int(req.Count)); err != nil {
+		finish(errResp(&req, wire.StatusInternal, err.Error()))
+		return
+	}
+	finish(okResp(&req))
+}
+
+func (s *Server) handleFlush(vol *volume, req wire.Request, finish func(*wire.Response)) {
+	vol.flushes.Add(1)
+	if vol.bat != nil {
+		vol.bat.flush()
+	}
+	finish(okResp(&req))
+}
+
+// stats assembles the STAT payload: geometry (so clients can
+// self-configure), engine traffic accounting, server counters, and
+// per-tenant totals.
+func (s *Server) stats() []wire.Stat {
+	cfg := s.eng.Config()
+	est := s.eng.Stats()
+	batch := int64(0)
+	if s.cfg.Batch {
+		batch = 1
+	}
+	degraded := int64(0)
+	if s.eng.Degraded() {
+		degraded = 1
+	}
+	out := []wire.Stat{
+		{Name: "geom_volumes", Value: int64(len(s.vols))},
+		{Name: "geom_vol_blocks", Value: s.vols[0].blocks},
+		{Name: "geom_block_bytes", Value: int64(cfg.BlockSize)},
+		{Name: "geom_chunk_blocks", Value: int64(cfg.ChunkBlocks)},
+		{Name: "geom_batch", Value: batch},
+		{Name: "store_user_blocks", Value: est.UserBlocks},
+		{Name: "store_gc_blocks", Value: est.GCBlocks},
+		{Name: "store_shadow_blocks", Value: est.ShadowBlocks},
+		{Name: "store_padding_blocks", Value: est.PaddingBlocks},
+		{Name: "store_padded_chunks", Value: est.PaddedChunks},
+		{Name: "store_chunk_flushes", Value: est.ChunkFlushes},
+		{Name: "store_parity_chunks", Value: est.ParityChunks},
+		{Name: "store_read_blocks", Value: est.ReadBlocks},
+		{Name: "store_trimmed_blocks", Value: est.TrimmedBlocks},
+		{Name: "store_gc_cycles", Value: est.GCCycles},
+		{Name: "store_free_segments", Value: int64(est.FreeSegments)},
+		{Name: "store_wa_milli", Value: int64(est.WA * 1000)},
+		{Name: "store_eff_wa_milli", Value: int64(est.EffectiveWA * 1000)},
+		{Name: "store_degraded", Value: degraded},
+		{Name: "srv_requests", Value: s.requests.Load()},
+		{Name: "srv_responses", Value: s.responses.Load()},
+	}
+	var backpressure, batches, batchedWrites int64
+	for _, v := range s.vols {
+		backpressure += v.rejected.Load()
+		batches += v.batches.Load()
+		batchedWrites += v.batchedWrites.Load()
+	}
+	out = append(out,
+		wire.Stat{Name: "srv_backpressure", Value: backpressure},
+		wire.Stat{Name: "srv_batches", Value: batches},
+		wire.Stat{Name: "srv_batched_writes", Value: batchedWrites},
+	)
+	for _, v := range s.vols {
+		p := fmt.Sprintf("vol%d_", v.id)
+		out = append(out,
+			wire.Stat{Name: p + "writes", Value: v.writes.Load()},
+			wire.Stat{Name: p + "write_blocks", Value: v.writeBlocks.Load()},
+			wire.Stat{Name: p + "reads", Value: v.reads.Load()},
+			wire.Stat{Name: p + "trims", Value: v.trims.Load()},
+			wire.Stat{Name: p + "rejected", Value: v.rejected.Load()},
+			wire.Stat{Name: p + "batches", Value: v.batches.Load()},
+		)
+	}
+	return out
+}

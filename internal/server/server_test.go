@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adapt/internal/fault"
+	"adapt/internal/lss"
+	"adapt/internal/placement"
+	"adapt/internal/prototype"
+)
+
+// testBlockBytes keeps the volume data planes and the verification
+// mirror tiny; the mirror needs BlockSize >= 17.
+const testBlockBytes = 64
+
+func testEngine(t *testing.T, userBlocks int64, verify, mirror bool) *prototype.Engine {
+	t.Helper()
+	cfg := lss.Config{
+		BlockSize:     testBlockBytes,
+		ChunkBlocks:   8,
+		SegmentChunks: 4,
+		UserBlocks:    userBlocks,
+		OverProvision: 0.25,
+	}
+	pol, err := placement.New(placement.NameSepGC, placement.Params{
+		UserBlocks:    cfg.UserBlocks,
+		SegmentBlocks: cfg.ChunkBlocks * cfg.SegmentChunks,
+		ChunkBlocks:   cfg.ChunkBlocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := prototype.NewEngine(prototype.EngineConfig{
+		Store:        cfg,
+		Policy:       pol,
+		ServiceTime:  time.Microsecond,
+		Verify:       verify,
+		VerifyMirror: mirror,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// serve starts srv on a loopback listener and returns its address plus
+// a stop function that shuts the server down and waits for Serve.
+func serve(t *testing.T, srv *Server) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-served; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+func dial(t *testing.T, addr string, volume uint32) *Client {
+	t.Helper()
+	c, err := Dial(addr, volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetBlockBytes(testBlockBytes)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// pattern fills one block deterministically from (volume, lba, version)
+// so read-back verification needs no shared state.
+func pattern(volume uint32, lba int64, version byte) []byte {
+	b := make([]byte, testBlockBytes)
+	for i := range b {
+		b[i] = byte(int64(volume)*31+lba*7+int64(version)*13+int64(i)) | 1
+	}
+	return b
+}
+
+func TestServerBasicOps(t *testing.T) {
+	eng := testEngine(t, 4096, false, false)
+	defer eng.Close()
+	srv, err := New(Config{Engine: eng, Volumes: 4, Batch: true, BatchTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := serve(t, srv)
+	defer stop()
+	c := dial(t, addr, 2)
+
+	want := pattern(2, 17, 1)
+	if err := c.Write(17, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := c.Read(17, 1)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read-back mismatch:\n got %x\nwant %x", got, want)
+	}
+	if err := c.WriteSync(17, pattern(2, 17, 2)); err != nil {
+		t.Fatalf("unbatched write: %v", err)
+	}
+	if err := c.Trim(17, 1); err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats["geom_volumes"] != 4 || stats["geom_block_bytes"] != testBlockBytes {
+		t.Fatalf("bad geometry in stats: %v", stats)
+	}
+	if stats["vol2_writes"] != 2 || stats["vol2_reads"] != 1 || stats["vol2_trims"] != 1 {
+		t.Fatalf("bad vol2 counters: %v", stats)
+	}
+
+	// Error mapping: unknown volume, out-of-range LBA, short payload.
+	bad := dial(t, addr, 99)
+	if err := bad.Write(0, want); !errors.Is(err, ErrBadVolume) {
+		t.Fatalf("bad volume: got %v", err)
+	}
+	if _, err := c.Read(1<<40, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range: got %v", err)
+	}
+	if err := c.Write(0, want[:testBlockBytes/2]); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("short payload: got %v", err)
+	}
+}
+
+func TestServerBackpressure(t *testing.T) {
+	eng := testEngine(t, 4096, false, false)
+	defer eng.Close()
+	srv, err := New(Config{Engine: eng, Volumes: 1, MaxInflight: 1, Batch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := serve(t, srv)
+	defer stop()
+	c := dial(t, addr, 0)
+
+	// Occupy the volume's only inflight slot, as a stalled op would.
+	if !srv.vols[0].admit() {
+		t.Fatal("slot should be free")
+	}
+	if err := c.Write(1, pattern(0, 1, 1)); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("write with full semaphore: got %v, want ErrBackpressure", err)
+	}
+	srv.vols[0].release()
+	if err := c.Write(1, pattern(0, 1, 2)); err != nil {
+		t.Fatalf("write after release: %v", err)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["srv_backpressure"] != 1 || stats["vol0_rejected"] != 1 {
+		t.Fatalf("backpressure not counted: %v", stats)
+	}
+}
+
+// TestServerShutdownAcksPending verifies graceful drain: every write
+// in flight when Shutdown starts is committed and acked (zero lost
+// acks), and late requests get a clean refusal instead of a hang.
+func TestServerShutdownAcksPending(t *testing.T) {
+	eng := testEngine(t, 4096, false, false)
+	defer eng.Close()
+	srv, err := New(Config{Engine: eng, Volumes: 1, Batch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := serve(t, srv)
+	c := dial(t, addr, 0)
+
+	const parked = 4
+	var wg sync.WaitGroup
+	errs := make([]error, parked)
+	for i := 0; i < parked; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Write(int64(i), pattern(0, int64(i), 1))
+		}(i)
+	}
+	// Wait until all four occupy the batcher, then drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stats, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats["vol0_writes"] == parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes never reached the batcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("parked write %d lost its ack: %v", i, err)
+		}
+	}
+	st := eng.Stats()
+	if st.UserBlocks != parked {
+		t.Fatalf("store saw %d blocks, want %d", st.UserBlocks, parked)
+	}
+	// A late client sees a clean refusal, not a hang.
+	if err := c.Write(9, pattern(0, 9, 2)); err == nil {
+		t.Fatal("write after shutdown should fail")
+	}
+}
+
+// TestServerE2EFaultRebuild is the end-to-end satellite: four tenants
+// hammer a loopback server concurrently while a fault.Fixed schedule
+// fails an array column mid-test and an online rebuild runs to
+// completion under traffic. Every request is acked exactly once
+// (retried on backpressure), read-backs verify payload bytes against
+// per-worker expectations, and engine Close replays the checker
+// oracle's full cross-check plus RAID parity and byte read-back.
+func TestServerE2EFaultRebuild(t *testing.T) {
+	eng := testEngine(t, 8192, true, true)
+	srv, err := New(Config{
+		Engine: eng, Volumes: 4, MaxInflight: 32,
+		Batch: true, BatchTimeout: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := serve(t, srv)
+
+	const (
+		tenants       = 4
+		workersPerTen = 4
+		opsPerWorker  = 300
+	)
+	var (
+		opCount  atomic.Int64 // global acked-write counter, drives the fault plan
+		acks     atomic.Int64
+		verified atomic.Int64
+	)
+	plan := fault.Fixed(1, tenants*workersPerTen*opsPerWorker/2)
+
+	// Fault injector: polls the op counter, fires the planned failure,
+	// then rebuilds online while traffic continues.
+	faultDone := make(chan struct{})
+	go func() {
+		defer close(faultDone)
+		for {
+			ev, ok := plan.Next()
+			if !ok {
+				return
+			}
+			if _, fired := plan.Fire(opCount.Load()); !fired {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err := eng.FailColumn(ev.Device); err != nil {
+				t.Errorf("fail column: %v", err)
+				return
+			}
+			if !eng.Degraded() {
+				t.Error("engine not degraded after FailColumn")
+			}
+			for {
+				_, done, err := eng.RebuildStep(32)
+				if err != nil {
+					t.Errorf("rebuild: %v", err)
+					return
+				}
+				if done {
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ten := 0; ten < tenants; ten++ {
+		c := dial(t, addr, uint32(ten))
+		span := srv.VolumeBlocks() / workersPerTen
+		for w := 0; w < workersPerTen; w++ {
+			wg.Add(1)
+			go func(ten uint32, c *Client, base, span int64) {
+				defer wg.Done()
+				// written tracks this worker's own lba range; workers
+				// never overlap, so acked writes must read back exactly.
+				written := make(map[int64]byte)
+				bo := fault.Backoff{}
+				for i := 0; i < opsPerWorker; i++ {
+					lba := base + int64(i*13)%span
+					ver := byte(i)
+					for attempt := 0; ; attempt++ {
+						err := c.Write(lba, pattern(ten, lba, ver))
+						if err == nil {
+							break
+						}
+						if errors.Is(err, ErrBackpressure) {
+							time.Sleep(bo.Delay(attempt))
+							continue
+						}
+						t.Errorf("tenant %d write: %v", ten, err)
+						return
+					}
+					written[lba] = ver
+					opCount.Add(1)
+					acks.Add(1)
+					if i%5 == 0 {
+						got, err := c.Read(lba, 1)
+						if err != nil {
+							t.Errorf("tenant %d read: %v", ten, err)
+							return
+						}
+						if !bytes.Equal(got, pattern(ten, lba, written[lba])) {
+							t.Errorf("tenant %d lba %d: read-back mismatch", ten, lba)
+							return
+						}
+						verified.Add(1)
+					}
+					if i%97 == 42 {
+						if err := c.Flush(); err != nil {
+							t.Errorf("tenant %d flush: %v", ten, err)
+							return
+						}
+					}
+					if i%61 == 13 {
+						drop := base + int64((i*7)%int(span))
+						if err := c.Trim(drop, 1); err != nil {
+							t.Errorf("tenant %d trim: %v", ten, err)
+							return
+						}
+						delete(written, drop)
+					}
+				}
+				// Final sweep: everything this worker still owns must
+				// read back at its last acked version.
+				if err := c.Flush(); err != nil {
+					t.Errorf("tenant %d final flush: %v", ten, err)
+					return
+				}
+				for lba, ver := range written {
+					got, err := c.Read(lba, 1)
+					if err != nil {
+						t.Errorf("tenant %d final read: %v", ten, err)
+						return
+					}
+					if !bytes.Equal(got, pattern(ten, lba, ver)) {
+						t.Errorf("tenant %d lba %d: final read-back mismatch", ten, lba)
+						return
+					}
+					verified.Add(1)
+				}
+			}(uint32(ten), c, int64(w)*span, span)
+		}
+	}
+	wg.Wait()
+	<-faultDone
+	if t.Failed() {
+		return
+	}
+
+	if eng.Degraded() {
+		t.Fatal("rebuild should have completed under traffic")
+	}
+	want := int64(tenants * workersPerTen * opsPerWorker)
+	if acks.Load() != want {
+		t.Fatalf("acked %d writes, want %d (lost acks)", acks.Load(), want)
+	}
+	if verified.Load() == 0 {
+		t.Fatal("no read-backs verified")
+	}
+
+	// STAT totals must match what the clients observed.
+	c := dial(t, addr, 0)
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var volWrites int64
+	for _, name := range []string{"vol0_writes", "vol1_writes", "vol2_writes", "vol3_writes"} {
+		volWrites += stats[name]
+	}
+	if volWrites < want {
+		t.Fatalf("server counted %d writes, clients acked %d", volWrites, want)
+	}
+	if stats["srv_batches"] == 0 || stats["srv_batched_writes"] == 0 {
+		t.Fatalf("batching never engaged: %v", stats)
+	}
+
+	stop()
+	// Close replays the oracle's full cross-check: flat model, RAID
+	// parity, and byte-accurate read-back of every durable block.
+	if err := eng.Close(); err != nil {
+		t.Fatalf("engine close (oracle full check): %v", err)
+	}
+}

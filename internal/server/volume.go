@@ -1,0 +1,85 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// volume is one tenant's block device: a contiguous slice of the shared
+// array's LBA space, a RAM data plane holding the payload bytes (the
+// lss store models placement and GC but never materializes data), a
+// bounded-inflight admission semaphore, and per-tenant counters.
+type volume struct {
+	id         uint32
+	base       int64 // first global LBA on the shared array
+	blocks     int64 // volume-visible LBA count
+	blockBytes int
+
+	// sem bounds inflight admitted ops; a full semaphore rejects with
+	// StatusBackpressure instead of queuing without bound.
+	sem chan struct{}
+
+	// bat is the volume's write batcher; nil when batching is off.
+	bat *batcher
+
+	dataMu sync.RWMutex
+	data   []byte
+
+	// Per-tenant stats, all atomics (read by STAT while ops run).
+	writes, reads, trims, flushes atomic.Int64
+	writeBlocks, readBlocks       atomic.Int64
+	trimBlocks                    atomic.Int64
+	rejected                      atomic.Int64
+	batches, batchedWrites        atomic.Int64
+}
+
+func newVolume(id uint32, base, blocks int64, blockBytes, maxInflight int) *volume {
+	return &volume{
+		id:         id,
+		base:       base,
+		blocks:     blocks,
+		blockBytes: blockBytes,
+		sem:        make(chan struct{}, maxInflight),
+		data:       make([]byte, blocks*int64(blockBytes)),
+	}
+}
+
+// admit tries to take one inflight slot; false means backpressure.
+func (v *volume) admit() bool {
+	select {
+	case v.sem <- struct{}{}:
+		return true
+	default:
+		v.rejected.Add(1)
+		return false
+	}
+}
+
+// release frees one inflight slot.
+func (v *volume) release() { <-v.sem }
+
+// inRange reports whether [lba, lba+count) is inside the volume.
+func (v *volume) inRange(lba uint64, count uint32) bool {
+	return lba < uint64(v.blocks) && uint64(count) <= uint64(v.blocks)-lba
+}
+
+// writeData copies payload into the volume's data plane at the
+// volume-relative lba.
+func (v *volume) writeData(lba int64, payload []byte) {
+	off := lba * int64(v.blockBytes)
+	v.dataMu.Lock()
+	copy(v.data[off:], payload)
+	v.dataMu.Unlock()
+}
+
+// readData returns a copy of blocks starting at the volume-relative
+// lba.
+func (v *volume) readData(lba int64, blocks int) []byte {
+	off := lba * int64(v.blockBytes)
+	n := int64(blocks) * int64(v.blockBytes)
+	out := make([]byte, n)
+	v.dataMu.RLock()
+	copy(out, v.data[off:off+n])
+	v.dataMu.RUnlock()
+	return out
+}

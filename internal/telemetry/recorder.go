@@ -56,6 +56,27 @@ const (
 	MetricAdaptAdoptions = "adapt_threshold_adoptions_total"
 	MetricAdaptDemotions = "adapt_demotions_total"
 	MetricAdaptShadows   = "adapt_shadow_grants_total"
+
+	// Block-service (internal/server) counters.
+	// MetricServerConns is the open client connection gauge.
+	MetricServerConns = "srv_connections_open"
+	// MetricServerRequestsPrefix is the per-opcode request family:
+	// srv_requests_total{op="WRITE"}.
+	MetricServerRequestsPrefix = "srv_requests_total"
+	// MetricServerBackpressure counts requests rejected by per-tenant
+	// admission control.
+	MetricServerBackpressure = "srv_backpressure_total"
+	// MetricServerBatches counts write-batcher group commits.
+	MetricServerBatches = "srv_batches_total"
+	// MetricServerBatchedWrites counts WRITE requests committed through
+	// the batcher (the rest committed individually).
+	MetricServerBatchedWrites = "srv_batched_writes_total"
+	// MetricServerBatchFill is the histogram of blocks per group commit.
+	MetricServerBatchFill = "srv_batch_fill_blocks"
+	// MetricServerBytesIn / MetricServerBytesOut count wire payload
+	// bytes received in WRITE requests and sent in READ responses.
+	MetricServerBytesIn  = "srv_bytes_in_total"
+	MetricServerBytesOut = "srv_bytes_out_total"
 )
 
 // Window is one closed time-series window: the cumulative value of
