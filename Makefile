@@ -16,12 +16,12 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzParseTencent \
 	./internal/server/wire:FuzzWireDecode
 
-.PHONY: check build vet test race fault fuzz paranoid bench-telemetry bench-snapshot serve-smoke
+.PHONY: check build vet test race fault fuzz paranoid bench-telemetry bench-snapshot serve-smoke trace-smoke
 
 ## check: full local gate — vet, build, race-enabled test suite, a
 ## short fuzz smoke of every target on top of the checked-in corpora,
-## and an end-to-end boot of the network service.
-check: vet build race fuzz serve-smoke
+## and end-to-end boots of the network service (plain and traced).
+check: vet build race fuzz serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -69,7 +69,8 @@ bench-telemetry:
 bench-snapshot:
 	{ $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation|BenchmarkFault' -benchmem -benchtime 1x -count 1 . && \
 	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 ./internal/lss && \
-	  $(GO) test -json -run '^$$' -bench BenchmarkServerRoundtrip -benchmem -benchtime 2000x -count 1 ./internal/server ; } \
+	  $(GO) test -json -run '^$$' -bench BenchmarkServerRoundtrip -benchmem -benchtime 2000x -count 1 ./internal/server && \
+	  $(GO) test -json -run '^$$' -bench BenchmarkTraceHotPath -benchmem -benchtime 1000000x -count 3 ./internal/server ; } \
 	  > BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
 
@@ -89,3 +90,24 @@ serve-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	grep -q '^final:' $$tmp/serve.log; \
 	echo "serve-smoke OK"
+
+## trace-smoke: boot the traced service end-to-end — adaptserve with
+## request tracing on, an adaptload burst with client-forced exemplars
+## and interleaved flushes, then assert /debug/trace serves attributed
+## exemplars and the load report carries the per-stage breakdown.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/adaptserve ./cmd/adaptload; \
+	$$tmp/adaptserve -addr 127.0.0.1:19760 -telemetry 127.0.0.1:19761 -service-us 0 -trace > $$tmp/serve.log 2>&1 & pid=$$!; \
+	sleep 1; \
+	$$tmp/adaptload -addr 127.0.0.1:19760 -tenants 4 -workers 4 -duration 2s -trace-every 4 -flush-every 32 > $$tmp/load.log 2>&1; \
+	grep aggregate $$tmp/load.log; \
+	grep -q 'server stage latency' $$tmp/load.log; \
+	curl -sf 'http://127.0.0.1:19761/debug/trace?k=8' > $$tmp/trace.jsonl; \
+	test -s $$tmp/trace.jsonl; \
+	grep -q '"cause":' $$tmp/trace.jsonl; \
+	grep -q '"total_ns":' $$tmp/trace.jsonl; \
+	curl -sf http://127.0.0.1:19761/metrics | grep -q srv_trace_exemplars_total; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "trace-smoke OK"

@@ -31,7 +31,7 @@ func main() {
 		"adaptbench -exp telemetry -series series.jsonl -events events.jsonl",
 		"adaptbench -replay series.jsonl")
 	fs := cmd.Flags()
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|telemetry|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|tailtrace|telemetry|all")
 	scaleName := fs.String("scale", "small", "experiment scale: small|full")
 	policy := fs.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
 	series := fs.String("series", "", "write telemetry time-series windows (JSONL) to this file")
@@ -161,6 +161,12 @@ func main() {
 		cmd.Check(err)
 		fmt.Println(res.Render())
 	}
+	if want("tailtrace") {
+		ran = true
+		res, err := harness.ExpTailTrace(sc, harness.PolicyNames(), harness.DefaultTailTraceOptions(sc))
+		cmd.Check(err)
+		fmt.Println(res.Render())
+	}
 	if *exp == "telemetry" {
 		ran = true
 		ts, res, err := harness.TelemetryRun(sc, *policy, telemetry.Options{
@@ -193,7 +199,7 @@ func main() {
 			fmt.Printf("wrote %d events to %s\n", ts.Tracer.Len(), *events)
 		}
 		if *debug != "" {
-			_, addr, err := telemetry.Serve(*debug, ts)
+			_, addr, err := telemetry.Serve(*debug, ts, nil)
 			cmd.Check(err)
 			fmt.Printf("serving telemetry on http://%s/ (metrics, events.jsonl, series.jsonl, debug/pprof); ctrl-c to exit\n", addr)
 			select {}

@@ -28,9 +28,12 @@ import (
 )
 
 type tenantResult struct {
-	ops, writes, reads int64
-	retries            int64
-	latencies          []float64 // microseconds
+	ops, writes, reads, flushes int64
+	retries                     int64
+	latencies                   []float64 // all ops, microseconds
+	// Per-class latency samples (microseconds), so write, read, and
+	// flush percentiles report separately.
+	wlat, rlat, flat []float64
 }
 
 func main() {
@@ -46,6 +49,8 @@ func main() {
 	theta := fs.Float64("theta", 0.99, "zipfian skew over each volume's LBA space")
 	blocksPerOp := fs.Int("blocks-per-op", 1, "blocks per request")
 	syncWrites := fs.Bool("sync", false, "bypass server-side batching (FlagNoBatch)")
+	flushEvery := fs.Int("flush-every", 0, "issue a FLUSH every n ops per worker (0 disables)")
+	traceEvery := fs.Int("trace-every", 0, "opt every nth request into server-side exemplar capture (0 disables)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	cmd.Parse(os.Args[1:])
 
@@ -81,6 +86,7 @@ func main() {
 		c, err := server.Dial(*addr, uint32(t))
 		cmd.Check(err)
 		c.SetBlockBytes(blockBytes)
+		c.SetTraceEvery(*traceEvery)
 		defer c.Close()
 		clients[t] = c
 	}
@@ -109,8 +115,11 @@ func main() {
 					start := time.Now()
 					var err error
 					write := rng.Float64() < *writeFrac
+					flush := *flushEvery > 0 && res.ops > 0 && res.ops%int64(*flushEvery) == 0
 					for attempt := 0; ; attempt++ {
-						if write {
+						if flush {
+							err = c.Flush()
+						} else if write {
 							if *syncWrites {
 								err = c.WriteSync(lba, payload)
 							} else {
@@ -129,12 +138,19 @@ func main() {
 						fmt.Fprintln(os.Stderr, "adaptload:", err)
 						return
 					}
-					res.latencies = append(res.latencies, float64(time.Since(start).Microseconds()))
+					us := float64(time.Since(start).Microseconds())
+					res.latencies = append(res.latencies, us)
 					res.ops++
-					if write {
+					switch {
+					case flush:
+						res.flushes++
+						res.flat = append(res.flat, us)
+					case write:
 						res.writes++
-					} else {
+						res.wlat = append(res.wlat, us)
+					default:
 						res.reads++
+						res.rlat = append(res.rlat, us)
 					}
 				}
 			}(clients[t], &results[t][w], *seed+uint64(t*1000+w))
@@ -151,8 +167,12 @@ func main() {
 			tr.ops += r.ops
 			tr.writes += r.writes
 			tr.reads += r.reads
+			tr.flushes += r.flushes
 			tr.retries += r.retries
 			tr.latencies = append(tr.latencies, r.latencies...)
+			tr.wlat = append(tr.wlat, r.wlat...)
+			tr.rlat = append(tr.rlat, r.rlat...)
+			tr.flat = append(tr.flat, r.flat...)
 		}
 		sort.Float64s(tr.latencies)
 		fmt.Printf("tenant %d: %7d ops (%d w, %d r) %9.1f ops/s  p50 %sµs  p99 %sµs  p999 %sµs  retries %d\n",
@@ -161,21 +181,87 @@ func main() {
 		total.ops += tr.ops
 		total.writes += tr.writes
 		total.reads += tr.reads
+		total.flushes += tr.flushes
 		total.retries += tr.retries
 		total.latencies = append(total.latencies, tr.latencies...)
+		total.wlat = append(total.wlat, tr.wlat...)
+		total.rlat = append(total.rlat, tr.rlat...)
+		total.flat = append(total.flat, tr.flat...)
 	}
 	sort.Float64s(total.latencies)
 	fmt.Printf("aggregate: %d ops in %v — %.1f ops/s (%.1f writes/s, %.1f reads/s)  p50 %sµs  p99 %sµs  p999 %sµs  retries %d\n",
 		total.ops, elapsed, float64(total.ops)/elapsed.Seconds(),
 		float64(total.writes)/elapsed.Seconds(), float64(total.reads)/elapsed.Seconds(),
 		pct(total.latencies, 50), pct(total.latencies, 99), pct(total.latencies, 99.9), total.retries)
+	for _, class := range []struct {
+		name string
+		n    int64
+		lat  []float64
+	}{
+		{"write", total.writes, total.wlat},
+		{"read", total.reads, total.rlat},
+		{"flush", total.flushes, total.flat},
+	} {
+		if class.n == 0 {
+			continue
+		}
+		sort.Float64s(class.lat)
+		fmt.Printf("%-5s: %8d ops  p50 %sµs  p99 %sµs  p999 %sµs\n",
+			class.name, class.n, pct(class.lat, 50), pct(class.lat, 99), pct(class.lat, 99.9))
+	}
 
 	final, err := clients[0].Stats()
 	cmd.Check(err)
+	printStageTable(final)
 	fmt.Printf("server: %d group commits covering %d writes, %d backpressure rejections, %d/%d chunks padded, WA %.3f (effective %.3f)\n",
 		final["srv_batches"], final["srv_batched_writes"], final["srv_backpressure"],
 		final["store_padded_chunks"], final["store_chunk_flushes"],
 		float64(final["store_wa_milli"])/1000, float64(final["store_eff_wa_milli"])/1000)
+}
+
+// stages mirrors the server's stage taxonomy (telemetry.Stage order);
+// the STAT keys are trace_<stage>_{count,p50_ns,p99_ns,p999_ns}.
+var stages = []string{"decode", "admission", "batch", "lockwait", "commit", "flush", "respond"}
+
+// printStageTable renders the server-side per-stage latency breakdown
+// when the STAT payload carries tracing percentiles (server started
+// with tracing enabled).
+func printStageTable(st map[string]int64) {
+	any := false
+	for _, s := range stages {
+		if st["trace_"+s+"_count"] > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	tbl := stats.NewTable("stage", "count", "p50", "p99", "p999")
+	for _, s := range stages {
+		n := st["trace_"+s+"_count"]
+		if n == 0 {
+			continue
+		}
+		tbl.AddRow(s, fmt.Sprintf("%d", n),
+			fmtNS(st["trace_"+s+"_p50_ns"]),
+			fmtNS(st["trace_"+s+"_p99_ns"]),
+			fmtNS(st["trace_"+s+"_p999_ns"]))
+	}
+	fmt.Println("server stage latency (histogram upper bounds):")
+	fmt.Print(tbl.String())
+}
+
+// fmtNS renders a nanosecond value with a readable unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
 }
 
 // pct renders a percentile of the sorted latency sample.

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +43,8 @@ func main() {
 	batchUS := fs.Int("batch-us", 0, "group-commit deadline in microseconds (0: the store's SLA window)")
 	maxInflight := fs.Int("max-inflight", 64, "per-tenant inflight ops before backpressure")
 	serviceUS := fs.Int("service-us", 50, "modelled device time per chunk write in microseconds")
+	trace := fs.Bool("trace", true, "per-request tracing with tail-latency attribution (/debug/trace)")
+	traceThreshUS := fs.Int("trace-threshold-us", 500, "latency above which a span becomes an exemplar")
 	cmd.Parse(os.Args[1:])
 
 	if fs.NArg() != 0 {
@@ -82,13 +85,21 @@ func main() {
 		Batch:        *batch,
 		BatchTimeout: time.Duration(*batchUS) * time.Microsecond,
 		Telemetry:    ts,
+		Trace: server.TraceConfig{
+			Enabled:   *trace,
+			Threshold: time.Duration(*traceThreshUS) * time.Microsecond,
+		},
 	})
 	cmd.Check(err)
 
 	if *telAddr != "" {
-		_, taddr, err := telemetry.Serve(*telAddr, ts)
+		var extra map[string]http.Handler
+		if *trace {
+			extra = map[string]http.Handler{"/debug/trace": srv.TraceHandler()}
+		}
+		_, taddr, err := telemetry.Serve(*telAddr, ts, extra)
 		cmd.Check(err)
-		fmt.Printf("telemetry on http://%s/ (metrics, events.jsonl, series.jsonl, debug/pprof)\n", taddr)
+		fmt.Printf("telemetry on http://%s/ (metrics, events.jsonl, series.jsonl, debug/trace, debug/pprof)\n", taddr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

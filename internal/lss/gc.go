@@ -20,15 +20,25 @@ func (s *Store) runGC() {
 	}
 	s.metrics.GCCycles++
 	if s.tracer != nil {
-		s.tracer.Emit(telemetry.GCStart(s.now, len(s.free)))
+		s.tracer.Emit(telemetry.GCStart(s.teleNow(), len(s.free)))
 		startReclaimed := s.metrics.SegmentsReclaimed
 		startMigrated := s.metrics.GCBlocks
 		startScanned := s.metrics.GCScannedBlocks
 		defer func() {
-			s.tracer.Emit(telemetry.GCEnd(s.now,
+			s.tracer.Emit(telemetry.GCEnd(s.teleNow(),
 				s.metrics.SegmentsReclaimed-startReclaimed,
 				s.metrics.GCBlocks-startMigrated,
 				s.metrics.GCScannedBlocks-startScanned))
+		}()
+	}
+	if s.itv != nil {
+		cycle := s.metrics.GCCycles
+		gcT0 := s.teleNow()
+		defer func() {
+			s.itv.Add(telemetry.Interval{
+				Kind: telemetry.IntervalGC, ID: cycle, Column: -1,
+				Start: gcT0, End: s.teleNow(),
+			})
 		}()
 	}
 	// Degraded mode (failed array column, rebuild behind its

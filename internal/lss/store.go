@@ -134,6 +134,13 @@ type Store struct {
 	tracer  *telemetry.Tracer
 	rec     *telemetry.Recorder
 	padHist *telemetry.Histogram
+	// itv receives GC interference intervals for tail-latency
+	// attribution; clock, when set, overrides s.now for telemetry
+	// timestamps (the prototype injects its wall-derived clock, which
+	// keeps advancing during a synchronous GC cycle while s.now is
+	// frozen at the triggering op's timestamp).
+	itv   *telemetry.IntervalLog
+	clock func() sim.Time
 	// recoveredSegments/Blocks record what Recover rebuilt, reported
 	// through the tracer when telemetry attaches to a recovered store.
 	recoveredSegments int
@@ -244,6 +251,22 @@ func (s *Store) WriteClock() sim.WriteClock { return s.w }
 
 // Now returns the current simulated time.
 func (s *Store) Now() sim.Time { return s.now }
+
+// SetClock overrides the clock used for telemetry timestamps (tracer
+// events and interference intervals). The store's logical clock s.now
+// only advances at op boundaries, so during a synchronous GC cycle it
+// is frozen; a live deployment injects a wall-derived clock here so GC
+// intervals have real width. Pass nil to revert to the logical clock.
+func (s *Store) SetClock(fn func() sim.Time) { s.clock = fn }
+
+// teleNow returns the telemetry timestamp: the injected clock when
+// set, the logical clock otherwise.
+func (s *Store) teleNow() sim.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return s.now
+}
 
 // FreeSegments returns the current free-pool size.
 func (s *Store) FreeSegments() int { return len(s.free) }

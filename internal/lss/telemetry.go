@@ -21,10 +21,12 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 		s.tracer = nil
 		s.rec = nil
 		s.padHist = nil
+		s.itv = nil
 		return
 	}
 	s.tracer = ts.Tracer
 	s.rec = ts.Recorder
+	s.itv = ts.Intervals
 	reg := ts.Registry
 
 	type cum struct {
@@ -62,7 +64,7 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 			"Block slots written into the group", true,
 			func() int64 { return s.metrics.PerGroup[i].TotalBlocks() })
 		reg.NewFuncGauge(
-			fmt.Sprintf("lss_group_padding_blocks_total{group=\"%d\"}", i),
+			fmt.Sprintf("%s{group=\"%d\"}", telemetry.MetricGroupPaddingPrefix, i),
 			"Zero-padding block slots written into the group", true,
 			func() int64 { return s.metrics.PerGroup[i].PaddingBlocks })
 	}
@@ -70,7 +72,7 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 	if last := int64(s.chunkBlocks); last > bounds[len(bounds)-1] {
 		bounds = append(bounds, last)
 	}
-	s.padHist = reg.NewHistogram("lss_chunk_pad_blocks",
+	s.padHist = reg.NewHistogram(telemetry.MetricChunkPadHistogram,
 		"Padding blocks per chunk flush", bounds)
 
 	if s.recoveredSegments > 0 {

@@ -41,6 +41,16 @@ type Engine struct {
 	parityRow    int64
 	parityChunks int64
 
+	// Request-tracing state (all guarded by mu). timing arms per-op
+	// accounting of time blocked on device queues; sinkNS accumulates
+	// it for the op in flight. itv receives degraded-mode interference
+	// intervals; degradedTok is the open interval, 0 when healthy.
+	timing      bool
+	sinkNS      int64
+	itv         *telemetry.IntervalLog
+	degradedTok int64
+	failGen     int64
+
 	closed bool
 }
 
@@ -125,6 +135,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	if ts := cfg.Telemetry; ts != nil {
 		store.SetTelemetry(ts)
+		// The store's own clock freezes at the op timestamp for the
+		// duration of a synchronous GC cycle; interference intervals
+		// need real elapsed time, so give it the wall-derived clock.
+		e.itv = ts.Intervals
+		store.SetClock(func() sim.Time { return sim.Time(time.Since(e.start)) })
 		if p, ok := cfg.Policy.(interface {
 			SetTelemetry(*telemetry.Set)
 		}); ok {
@@ -152,10 +167,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if col >= parityCol {
 			col++
 		}
-		e.devices[col].ch <- chunkJob{payload: w.PayloadBytes, pad: w.PadBytes}
+		e.sinkSend(e.devices[col], chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
 		e.stripeFill++
 		if e.stripeFill == e.ncols-1 {
-			e.devices[parityCol].ch <- chunkJob{payload: int64(store.Config().ChunkBytes())}
+			e.sinkSend(e.devices[parityCol], chunkJob{payload: int64(store.Config().ChunkBytes())})
 			e.parityChunks++
 			e.stripeFill = 0
 			e.parityRow++
@@ -211,6 +226,52 @@ func (e *Engine) Config() lss.Config { return e.store.Config() }
 // Now returns the engine's wall-derived simulated time.
 func (e *Engine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
 
+// sinkSend dispatches a chunk job onto a device queue. Caller holds
+// e.mu. When an op is being timed, time blocked on a full queue is
+// accumulated into sinkNS; the non-blocking fast path costs nothing.
+func (e *Engine) sinkSend(d *device, job chunkJob) {
+	if !e.timing {
+		d.ch <- job
+		return
+	}
+	select {
+	case d.ch <- job:
+	default:
+		t0 := time.Now()
+		d.ch <- job
+		e.sinkNS += time.Since(t0).Nanoseconds()
+	}
+}
+
+// OpTiming is the per-op timing breakdown the Timed engine variants
+// return for request tracing. All stamps are on the engine clock.
+type OpTiming struct {
+	// Enter is the clock at method entry, before taking the engine
+	// lock; Locked is the clock once the lock was acquired, so
+	// Locked-Enter is the lock wait.
+	Enter, Locked sim.Time
+	// Done is the clock at completion (store apply plus any device
+	// dispatch finished).
+	Done sim.Time
+	// SinkNS is how long the op was blocked dispatching onto full
+	// device queues — device backpressure, a subset of Done-Locked.
+	SinkNS int64
+}
+
+// timeBegin arms sink accounting for one op. Caller holds e.mu.
+func (e *Engine) timeBegin() {
+	e.timing = true
+	e.sinkNS = 0
+}
+
+// timeEnd disarms sink accounting and fills the trailing stamps.
+// Caller holds e.mu.
+func (e *Engine) timeEnd(t *OpTiming) {
+	t.SinkNS = e.sinkNS
+	e.timing = false
+	t.Done = e.Now()
+}
+
 // Write appends blocks user-written blocks starting at lba.
 func (e *Engine) Write(lba int64, blocks int) error {
 	e.mu.Lock()
@@ -238,6 +299,45 @@ func (e *Engine) WriteBatch(ops []BatchWrite) error {
 	return nil
 }
 
+// WriteTimed is Write plus an OpTiming breakdown (lock wait, commit,
+// device backpressure) for request tracing.
+func (e *Engine) WriteTimed(lba int64, blocks int) (OpTiming, error) {
+	t := OpTiming{Enter: e.Now()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.Locked = e.Now()
+	if e.closed {
+		t.Done = t.Locked
+		return t, ErrEngineClosed
+	}
+	e.timeBegin()
+	err := e.writeLocked(lba, blocks)
+	e.timeEnd(&t)
+	return t, err
+}
+
+// WriteBatchTimed is WriteBatch plus an OpTiming breakdown covering
+// the whole group commit.
+func (e *Engine) WriteBatchTimed(ops []BatchWrite) (OpTiming, error) {
+	t := OpTiming{Enter: e.Now()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.Locked = e.Now()
+	if e.closed {
+		t.Done = t.Locked
+		return t, ErrEngineClosed
+	}
+	e.timeBegin()
+	var err error
+	for _, op := range ops {
+		if err = e.writeLocked(op.LBA, op.Blocks); err != nil {
+			break
+		}
+	}
+	e.timeEnd(&t)
+	return t, err
+}
+
 func (e *Engine) writeLocked(lba int64, blocks int) error {
 	now := sim.Time(time.Since(e.start))
 	if e.oracle != nil {
@@ -261,8 +361,52 @@ func (e *Engine) Read(lba int64, blocks int) error {
 	} else {
 		e.store.Read(lba, blocks, now)
 	}
-	e.devices[e.rng.Intn(len(e.devices))].ch <- chunkJob{read: true}
+	e.sinkSend(e.devices[e.rng.Intn(len(e.devices))], chunkJob{read: true})
 	return nil
+}
+
+// ReadTimed is Read plus an OpTiming breakdown.
+func (e *Engine) ReadTimed(lba int64, blocks int) (OpTiming, error) {
+	t := OpTiming{Enter: e.Now()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.Locked = e.Now()
+	if e.closed {
+		t.Done = t.Locked
+		return t, ErrEngineClosed
+	}
+	e.timeBegin()
+	now := sim.Time(time.Since(e.start))
+	if e.oracle != nil {
+		e.oracle.Read(lba, blocks, now)
+	} else {
+		e.store.Read(lba, blocks, now)
+	}
+	e.sinkSend(e.devices[e.rng.Intn(len(e.devices))], chunkJob{read: true})
+	e.timeEnd(&t)
+	return t, nil
+}
+
+// TrimTimed is Trim plus an OpTiming breakdown.
+func (e *Engine) TrimTimed(lba int64, blocks int) (OpTiming, error) {
+	t := OpTiming{Enter: e.Now()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.Locked = e.Now()
+	if e.closed {
+		t.Done = t.Locked
+		return t, ErrEngineClosed
+	}
+	e.timeBegin()
+	now := sim.Time(time.Since(e.start))
+	var err error
+	if e.oracle != nil {
+		err = e.oracle.Trim(lba, blocks, now)
+	} else {
+		err = e.store.Trim(lba, blocks, now)
+	}
+	e.timeEnd(&t)
+	return t, err
 }
 
 // Trim discards blocks (TRIM/UNMAP).
@@ -290,7 +434,13 @@ func (e *Engine) FailColumn(col int) error {
 	if e.oracle == nil {
 		return fmt.Errorf("prototype: FailColumn requires EngineConfig.Verify with VerifyMirror")
 	}
-	return e.oracle.FailColumn(col)
+	if err := e.oracle.FailColumn(col); err != nil {
+		return err
+	}
+	e.failGen++
+	e.itv.Close(e.degradedTok, e.Now()) // a prior failure's window, if any
+	e.degradedTok = e.itv.Open(telemetry.IntervalDegraded, e.failGen, int32(col), e.Now())
+	return nil
 }
 
 // RebuildStep advances the mirror's incremental rebuild by at most
@@ -305,7 +455,12 @@ func (e *Engine) RebuildStep(maxChunks int) (rebuilt int, done bool, err error) 
 	if e.oracle == nil {
 		return 0, false, fmt.Errorf("prototype: RebuildStep requires EngineConfig.Verify with VerifyMirror")
 	}
-	return e.oracle.RebuildStep(maxChunks)
+	rebuilt, done, err = e.oracle.RebuildStep(maxChunks)
+	if err == nil && done && e.degradedTok != 0 {
+		e.itv.Close(e.degradedTok, e.Now())
+		e.degradedTok = 0
+	}
+	return rebuilt, done, err
 }
 
 // Degraded reports whether the store is running degraded-mode GC.

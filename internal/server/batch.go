@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adapt/internal/prototype"
+	"adapt/internal/telemetry"
 )
 
 // batchItem is one WRITE waiting in a volume's group commit.
@@ -12,6 +13,7 @@ type batchItem struct {
 	lba     int64 // volume-relative
 	blocks  int
 	payload []byte
+	sp      *telemetry.Span // trace span, nil when tracing is off
 	done    func(err error)
 }
 
@@ -175,11 +177,28 @@ func (b *batcher) gather(pending *[]batchItem, blocks *int) (closed bool) {
 // hold, then every waiter is acked.
 func (b *batcher) commit(items []batchItem, blocks int) {
 	ops := make([]prototype.BatchWrite, len(items))
+	traced := false
 	for i := range items {
 		b.vol.writeData(items[i].lba, items[i].payload)
 		ops[i] = prototype.BatchWrite{LBA: b.vol.base + items[i].lba, Blocks: items[i].blocks}
+		traced = traced || items[i].sp != nil
 	}
-	err := b.eng.WriteBatch(ops)
+	var err error
+	if traced {
+		// The gather window ends here; the whole group commit shares one
+		// engine timing, stamped onto every member's span.
+		gatherEnd := b.eng.Now()
+		for i := range items {
+			items[i].sp.MarkAt(telemetry.StageBatch, gatherEnd)
+		}
+		var t prototype.OpTiming
+		t, err = b.eng.WriteBatchTimed(ops)
+		for i := range items {
+			markEngine(items[i].sp, t)
+		}
+	} else {
+		err = b.eng.WriteBatch(ops)
+	}
 	b.vol.batches.Add(1)
 	b.vol.batchedWrites.Add(int64(len(items)))
 	b.srv.met.batches.Inc()

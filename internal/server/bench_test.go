@@ -8,10 +8,36 @@ import (
 	"testing"
 	"time"
 
-	"adapt/internal/harness"
+	"adapt/internal/adaptcore"
 	"adapt/internal/lss"
 	"adapt/internal/prototype"
+	"adapt/internal/telemetry"
 )
+
+// benchStoreConfig mirrors harness.StoreConfig for a 64 Ki-block
+// store (the harness package now sits above this one in the import
+// graph, so the benchmark can no longer borrow it).
+func benchStoreConfig() lss.Config {
+	return lss.Config{
+		BlockSize:     4096,
+		ChunkBlocks:   16,
+		SegmentChunks: 16,
+		DataColumns:   3,
+		UserBlocks:    64 << 10,
+		OverProvision: 0.15,
+		Victim:        lss.Greedy,
+	}
+}
+
+func benchPolicy(b *testing.B, cfg lss.Config) lss.Policy {
+	b.Helper()
+	return adaptcore.New(adaptcore.Config{
+		UserBlocks:    cfg.UserBlocks,
+		SegmentBlocks: cfg.SegmentBlocks(),
+		ChunkBlocks:   cfg.ChunkBlocks,
+		OverProvision: cfg.OverProvision,
+	}, adaptcore.Options{SampleRate: 2048 / float64(cfg.UserBlocks)})
+}
 
 // BenchmarkServerRoundtrip measures acknowledged 4 KiB writes over real
 // loopback TCP: one iteration is one client write round-trip, spread
@@ -29,12 +55,8 @@ func BenchmarkServerRoundtrip(b *testing.B) {
 }
 
 func benchRoundtrip(b *testing.B, tenants int, batch bool) {
-	cfg := harness.StoreConfig(64<<10, lss.Greedy)
-	pol, err := harness.BuildPolicy(harness.PolicyADAPT, cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, err := prototype.NewEngine(prototype.EngineConfig{Store: cfg, Policy: pol})
+	cfg := benchStoreConfig()
+	eng, err := prototype.NewEngine(prototype.EngineConfig{Store: cfg, Policy: benchPolicy(b, cfg)})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -100,3 +122,71 @@ func benchRoundtrip(b *testing.B, tenants int, batch bool) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkTraceHotPath measures per-request tracing overhead on the
+// serving path.
+//
+// The disabled case replays the exact guard sequence a request
+// executes when tracing is off — one traceState nil check at span
+// creation plus the span nil checks at decode, respond, admission,
+// handler, and connection-writer hand-off. This is the cost every
+// untraced deployment pays per request and must stay in the
+// single-digit nanoseconds.
+//
+// The enabled case runs the full span lifecycle — pool checkout,
+// field population, stage stamps, histogram observation, threshold
+// check, pool return — with synthetic timestamps so the clock reads
+// are excluded and only the tracing machinery is measured.
+func BenchmarkTraceHotPath(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var sink int64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sp *telemetry.Span
+			if benchTraceState != nil { // handleConn: span creation
+				sp = benchTraceState.newSpan()
+			}
+			if sp != nil { // handleConn: populate after decode
+				sp.MarkAt(telemetry.StageDecode, 1)
+			}
+			if sp != nil { // dispatch: admission stamp
+				sp.MarkAt(telemetry.StageAdmission, 2)
+			}
+			if sp != nil { // handler: timed-variant selection
+				sink++
+			}
+			if sp != nil { // respond closure: status copy
+				sp.Status = 0
+			}
+			if sp != nil { // connWriter: pending-span append
+				sink++
+			}
+		}
+		if sink != 0 {
+			b.Fatal("disabled path executed trace work")
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		ts := telemetry.New(telemetry.Options{})
+		tr := newTraceState(TraceConfig{Enabled: true, Threshold: time.Second}, 1, ts)
+		ring := telemetry.NewSpanRing(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tr.newSpan()
+			sp.ID = uint64(i)
+			sp.Volume = 0
+			sp.Op = 1
+			sp.Start = 100
+			sp.MarkAt(telemetry.StageDecode, 110)
+			sp.MarkAt(telemetry.StageAdmission, 120)
+			sp.MarkAt(telemetry.StageLockWait, 150)
+			sp.MarkAt(telemetry.StageCommit, 180)
+			tr.finish(sp, 200, ring) // under threshold: back to the pool
+		}
+	})
+}
+
+// benchTraceState is deliberately a mutable package variable so the
+// compiler cannot fold the disabled-path nil checks away.
+var benchTraceState *traceState

@@ -74,6 +74,10 @@ type Client struct {
 	// STAT geometry via SetBlockBytes otherwise).
 	blockBytes atomic.Int64
 
+	// traceEvery, when n > 0, sets wire.FlagTrace on every nth request
+	// so the server captures its span as an exemplar unconditionally.
+	traceEvery atomic.Int64
+
 	nextID atomic.Uint64
 
 	// wch feeds encoded request frames to the writer goroutine, which
@@ -188,6 +192,9 @@ func (c *Client) readLoop() {
 func (c *Client) roundtrip(req *wire.Request) (*wire.Response, error) {
 	req.ID = c.nextID.Add(1)
 	req.Volume = c.volume
+	if n := c.traceEvery.Load(); n > 0 && req.ID%uint64(n) == 0 {
+		req.Flags |= wire.FlagTrace
+	}
 	ch := make(chan *wire.Response, 1)
 
 	c.pmu.Lock()
@@ -339,6 +346,10 @@ func (c *Client) Stats() (map[string]int64, error) {
 // SetBlockBytes overrides the client's assumed block size (from STAT
 // geometry) for payload-length validation.
 func (c *Client) SetBlockBytes(n int) { c.blockBytes.Store(int64(n)) }
+
+// SetTraceEvery opts every nth request into server-side exemplar
+// capture (wire.FlagTrace); n <= 0 disables.
+func (c *Client) SetTraceEvery(n int) { c.traceEvery.Store(int64(n)) }
 
 // Close tears down the connection; outstanding calls fail with
 // ErrClientClosed.

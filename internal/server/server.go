@@ -57,6 +57,9 @@ type Config struct {
 	// per-opcode requests, backpressure, batching, bytes) on the same
 	// set the engine uses.
 	Telemetry *telemetry.Set
+	// Trace configures per-request tracing and tail-latency
+	// attribution; see TraceConfig.
+	Trace TraceConfig
 }
 
 // metrics bundles the server's telemetry instruments; every field is
@@ -78,6 +81,9 @@ type Server struct {
 	eng  *prototype.Engine
 	vols []*volume
 	met  metrics
+	// trace is the request-tracing runtime; nil when disabled, making
+	// every tracing touchpoint on the request path a single nil check.
+	trace *traceState
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -155,6 +161,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.met.batchFill = ts.Registry.NewHistogram(telemetry.MetricServerBatchFill,
 			"Blocks per group commit", bounds)
+	}
+	if cfg.Trace.Enabled {
+		s.trace = newTraceState(cfg.Trace, cfg.Volumes, cfg.Telemetry)
 	}
 	s.vols = make([]*volume, cfg.Volumes)
 	for i := range s.vols {
@@ -250,11 +259,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	respCh := make(chan []byte, 4*s.cfg.MaxInflight)
+	tr := s.trace
+	var ring *telemetry.SpanRing
+	if tr != nil {
+		ring = tr.addRing()
+		defer tr.retireRing(ring)
+	}
+	respCh := make(chan outFrame, 4*s.cfg.MaxInflight)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		s.connWriter(conn, respCh)
+		s.connWriter(conn, respCh, ring)
 	}()
 
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -266,12 +281,34 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.cfg.IdleTimeout > 0 && br.Buffered() == 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		req, err := wire.ReadRequest(br)
+		// Frame read and decode are split so the span clock starts at
+		// frame arrival and the decode stage excludes network idle time.
+		frame, err := wire.ReadFrame(br)
 		if err != nil {
-			// EOF, idle/drain deadline, or a malformed frame: the stream
-			// cannot be trusted past a protocol error, so the connection
-			// drains and closes either way.
 			break
+		}
+		var sp *telemetry.Span
+		if tr != nil {
+			sp = tr.newSpan()
+			sp.Start = s.eng.Now()
+		}
+		req, err := wire.DecodeRequestOwned(frame)
+		if err != nil {
+			// The stream cannot be trusted past a protocol error, so the
+			// connection drains and closes.
+			if sp != nil {
+				tr.drop(sp)
+			}
+			break
+		}
+		if sp != nil {
+			sp.ID = req.ID
+			sp.Volume = req.Volume
+			sp.Op = uint8(req.Op)
+			sp.LBA = req.LBA
+			sp.Count = req.Count
+			sp.Forced = req.Flags&wire.FlagTrace != 0
+			sp.MarkAt(telemetry.StageDecode, s.eng.Now())
 		}
 		pending.Add(1)
 		delivered := false
@@ -280,39 +317,61 @@ func (s *Server) handleConn(conn net.Conn) {
 				panic("server: double response to one request")
 			}
 			delivered = true
-			respCh <- wire.AppendResponse(nil, resp)
+			if sp != nil {
+				sp.Status = uint8(resp.Status)
+			}
+			respCh <- outFrame{buf: wire.AppendResponse(nil, resp), sp: sp}
 			pending.Done()
 		}
-		s.dispatch(req, respond)
+		s.dispatch(req, sp, respond)
 	}
 	pending.Wait()
 	close(respCh)
 	<-writerDone
 }
 
+// outFrame pairs an encoded response with its span (nil when tracing
+// is off), so the writer can finish the span after the socket write.
+type outFrame struct {
+	buf []byte
+	sp  *telemetry.Span
+}
+
 // connWriter writes encoded response frames, flushing when the queue
 // momentarily empties. After a write failure it keeps draining the
-// channel so responders never block on a dead connection.
-func (s *Server) connWriter(conn net.Conn, respCh <-chan []byte) {
+// channel so responders never block on a dead connection. Spans finish
+// at flush time, after their bytes hit the socket.
+func (s *Server) connWriter(conn net.Conn, respCh <-chan outFrame, ring *telemetry.SpanRing) {
 	buf := make([]byte, 0, 64<<10)
+	var spans []*telemetry.Span
 	broken := false
 	flush := func() {
-		if broken || len(buf) == 0 {
-			return
-		}
-		if s.cfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		}
-		if _, err := conn.Write(buf); err != nil {
-			broken = true
+		if !broken && len(buf) > 0 {
+			if s.cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			if _, err := conn.Write(buf); err != nil {
+				broken = true
+			}
 		}
 		buf = buf[:0]
+		if len(spans) > 0 {
+			now := s.eng.Now()
+			for _, sp := range spans {
+				s.trace.finish(sp, now, ring)
+			}
+			spans = spans[:0]
+		}
 	}
-	for frame := range respCh {
+	for of := range respCh {
+		if of.sp != nil {
+			spans = append(spans, of.sp)
+		}
 		if broken {
+			flush() // finish spans even on a dead connection
 			continue
 		}
-		buf = append(buf, frame...)
+		buf = append(buf, of.buf...)
 		s.responses.Add(1)
 		if len(respCh) == 0 || len(buf) >= 48<<10 {
 			flush()
@@ -331,8 +390,9 @@ func okResp(req *wire.Request) *wire.Response {
 }
 
 // dispatch routes one decoded request. respond must be called exactly
-// once, possibly from another goroutine (batched writes).
-func (s *Server) dispatch(req wire.Request, respond func(*wire.Response)) {
+// once, possibly from another goroutine (batched writes). sp is the
+// request's trace span, nil when tracing is off.
+func (s *Server) dispatch(req wire.Request, sp *telemetry.Span, respond func(*wire.Response)) {
 	s.requests.Add(1)
 	s.met.reqs[req.Op].Inc()
 	if s.draining.Load() {
@@ -358,25 +418,28 @@ func (s *Server) dispatch(req wire.Request, respond func(*wire.Response)) {
 			fmt.Sprintf("volume %d inflight limit %d", vol.id, cap(vol.sem))))
 		return
 	}
+	if sp != nil {
+		sp.MarkAt(telemetry.StageAdmission, s.eng.Now())
+	}
 	finish := func(resp *wire.Response) {
 		vol.release()
 		respond(resp)
 	}
 	switch req.Op {
 	case wire.OpWrite:
-		s.handleWrite(vol, req, finish)
+		s.handleWrite(vol, req, sp, finish)
 	case wire.OpRead:
-		s.handleRead(vol, req, finish)
+		s.handleRead(vol, req, sp, finish)
 	case wire.OpTrim:
-		s.handleTrim(vol, req, finish)
+		s.handleTrim(vol, req, sp, finish)
 	case wire.OpFlush:
-		s.handleFlush(vol, req, finish)
+		s.handleFlush(vol, req, sp, finish)
 	default:
 		finish(errResp(&req, wire.StatusBadRequest, "unhandled opcode"))
 	}
 }
 
-func (s *Server) handleWrite(vol *volume, req wire.Request, finish func(*wire.Response)) {
+func (s *Server) handleWrite(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
 	if req.Count < 1 {
 		finish(errResp(&req, wire.StatusBadRequest, "zero block count"))
 		return
@@ -400,6 +463,7 @@ func (s *Server) handleWrite(vol *volume, req wire.Request, finish func(*wire.Re
 			lba:     lba,
 			blocks:  int(req.Count),
 			payload: req.Payload,
+			sp:      sp,
 			done: func(err error) {
 				if err != nil {
 					finish(errResp(&req, wire.StatusInternal, err.Error()))
@@ -411,14 +475,22 @@ func (s *Server) handleWrite(vol *volume, req wire.Request, finish func(*wire.Re
 		return
 	}
 	vol.writeData(lba, req.Payload)
-	if err := s.eng.Write(vol.base+lba, int(req.Count)); err != nil {
+	var err error
+	if sp != nil {
+		var t prototype.OpTiming
+		t, err = s.eng.WriteTimed(vol.base+lba, int(req.Count))
+		markEngine(sp, t)
+	} else {
+		err = s.eng.Write(vol.base+lba, int(req.Count))
+	}
+	if err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
 		return
 	}
 	finish(okResp(&req))
 }
 
-func (s *Server) handleRead(vol *volume, req wire.Request, finish func(*wire.Response)) {
+func (s *Server) handleRead(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
 	if req.Count < 1 {
 		finish(errResp(&req, wire.StatusBadRequest, "zero block count"))
 		return
@@ -430,7 +502,15 @@ func (s *Server) handleRead(vol *volume, req wire.Request, finish func(*wire.Res
 	}
 	vol.reads.Add(1)
 	vol.readBlocks.Add(int64(req.Count))
-	if err := s.eng.Read(vol.base+int64(req.LBA), int(req.Count)); err != nil {
+	var err error
+	if sp != nil {
+		var t prototype.OpTiming
+		t, err = s.eng.ReadTimed(vol.base+int64(req.LBA), int(req.Count))
+		markEngine(sp, t)
+	} else {
+		err = s.eng.Read(vol.base+int64(req.LBA), int(req.Count))
+	}
+	if err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
 		return
 	}
@@ -439,7 +519,7 @@ func (s *Server) handleRead(vol *volume, req wire.Request, finish func(*wire.Res
 	finish(&wire.Response{Op: req.Op, Status: wire.StatusOK, ID: req.ID, Count: req.Count, Payload: payload})
 }
 
-func (s *Server) handleTrim(vol *volume, req wire.Request, finish func(*wire.Response)) {
+func (s *Server) handleTrim(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
 	if req.Count < 1 {
 		finish(errResp(&req, wire.StatusBadRequest, "zero block count"))
 		return
@@ -451,17 +531,30 @@ func (s *Server) handleTrim(vol *volume, req wire.Request, finish func(*wire.Res
 	}
 	vol.trims.Add(1)
 	vol.trimBlocks.Add(int64(req.Count))
-	if err := s.eng.Trim(vol.base+int64(req.LBA), int(req.Count)); err != nil {
+	var err error
+	if sp != nil {
+		var t prototype.OpTiming
+		t, err = s.eng.TrimTimed(vol.base+int64(req.LBA), int(req.Count))
+		markEngine(sp, t)
+	} else {
+		err = s.eng.Trim(vol.base+int64(req.LBA), int(req.Count))
+	}
+	if err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
 		return
 	}
 	finish(okResp(&req))
 }
 
-func (s *Server) handleFlush(vol *volume, req wire.Request, finish func(*wire.Response)) {
+func (s *Server) handleFlush(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
 	vol.flushes.Add(1)
 	if vol.bat != nil {
 		vol.bat.flush()
+		if sp != nil {
+			// FLUSH waits out the forced group commit; charge it to the
+			// batch stage.
+			sp.MarkAt(telemetry.StageBatch, s.eng.Now())
+		}
 	}
 	finish(okResp(&req))
 }
@@ -524,6 +617,18 @@ func (s *Server) stats() []wire.Stat {
 			wire.Stat{Name: p + "rejected", Value: v.rejected.Load()},
 			wire.Stat{Name: p + "batches", Value: v.batches.Load()},
 		)
+	}
+	if tr := s.trace; tr != nil && tr.stageHist[0] != nil {
+		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+			h := tr.stageHist[st]
+			p := "trace_" + st.String() + "_"
+			out = append(out,
+				wire.Stat{Name: p + "count", Value: h.Count()},
+				wire.Stat{Name: p + "p50_ns", Value: h.Quantile(0.5)},
+				wire.Stat{Name: p + "p99_ns", Value: h.Quantile(0.99)},
+				wire.Stat{Name: p + "p999_ns", Value: h.Quantile(0.999)},
+			)
+		}
 	}
 	return out
 }

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"adapt/internal/prototype"
+	"adapt/internal/server/wire"
+	"adapt/internal/sim"
+	"adapt/internal/telemetry"
+)
+
+// TraceConfig configures per-request tracing. When disabled the whole
+// subsystem costs one nil check per request.
+type TraceConfig struct {
+	// Enabled turns on span capture for every request.
+	Enabled bool
+	// Threshold is the end-to-end latency above which a span is
+	// published to the exemplar ring (default 500 µs). Requests carrying
+	// wire.FlagTrace publish regardless.
+	Threshold time.Duration
+	// RingCap bounds each connection's exemplar ring (default 256).
+	RingCap int
+}
+
+// traceState is the server's tracing runtime: a span pool, the
+// per-connection exemplar rings, the per-stage/per-tenant latency
+// histograms, and the interference-interval source for attribution.
+type traceState struct {
+	thresholdNS int64
+	ringCap     int
+	pool        sync.Pool
+	itv         *telemetry.IntervalLog
+
+	// stageHist/volHist/exemplars are nil (no-op) without telemetry.
+	stageHist [telemetry.NumStages]*telemetry.Histogram
+	volHist   []*telemetry.Histogram
+	exemplars *telemetry.Counter
+
+	// mu guards the live per-connection ring set; taken only at
+	// connection open/close and snapshot time, never per request.
+	mu      sync.Mutex
+	rings   map[*telemetry.SpanRing]struct{}
+	retired *telemetry.SpanRing
+}
+
+// newTraceState builds the tracing runtime and registers its latency
+// instruments (log-scale ns histograms, 1 µs .. ~2 s) when ts is set.
+func newTraceState(cfg TraceConfig, vols int, ts *telemetry.Set) *traceState {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 500 * time.Microsecond
+	}
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = 256
+	}
+	tr := &traceState{
+		thresholdNS: cfg.Threshold.Nanoseconds(),
+		ringCap:     cfg.RingCap,
+		pool:        sync.Pool{New: func() any { return new(telemetry.Span) }},
+		rings:       make(map[*telemetry.SpanRing]struct{}),
+		retired:     telemetry.NewSpanRing(4 * cfg.RingCap),
+	}
+	if ts != nil {
+		tr.itv = ts.Intervals
+		bounds := telemetry.Log2Bounds(1024, 1<<31)
+		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+			tr.stageHist[st] = ts.Registry.NewHistogram(
+				fmt.Sprintf("%s{stage=\"%s\"}", telemetry.MetricServerStageLatencyPrefix, st),
+				"Request stage latency in nanoseconds", bounds)
+		}
+		tr.volHist = make([]*telemetry.Histogram, vols)
+		for i := range tr.volHist {
+			tr.volHist[i] = ts.Registry.NewHistogram(
+				fmt.Sprintf("%s{vol=\"%d\"}", telemetry.MetricServerRequestLatencyPrefix, i),
+				"End-to-end request latency in nanoseconds", bounds)
+		}
+		tr.exemplars = ts.Registry.NewCounter(telemetry.MetricServerTraceExemplars,
+			"Spans published to the exemplar ring")
+	}
+	return tr
+}
+
+// newSpan takes a zeroed span from the pool.
+func (tr *traceState) newSpan() *telemetry.Span {
+	return tr.pool.Get().(*telemetry.Span)
+}
+
+// drop returns an unpublished span to the pool.
+func (tr *traceState) drop(sp *telemetry.Span) {
+	sp.Reset()
+	tr.pool.Put(sp)
+}
+
+// addRing registers a fresh per-connection exemplar ring.
+func (tr *traceState) addRing() *telemetry.SpanRing {
+	r := telemetry.NewSpanRing(tr.ringCap)
+	tr.mu.Lock()
+	tr.rings[r] = struct{}{}
+	tr.mu.Unlock()
+	return r
+}
+
+// retireRing moves a closing connection's exemplars into the retired
+// ring so they survive the connection.
+func (tr *traceState) retireRing(r *telemetry.SpanRing) {
+	spans := r.Snapshot(nil)
+	tr.mu.Lock()
+	delete(tr.rings, r)
+	tr.mu.Unlock()
+	for _, sp := range spans {
+		tr.retired.Publish(sp)
+	}
+}
+
+// finish completes a span after its response hit the socket: stamps the
+// respond stage, feeds the latency histograms, and either publishes the
+// span as an exemplar (over threshold, or client-forced) or returns it
+// to the pool.
+func (tr *traceState) finish(sp *telemetry.Span, now sim.Time, ring *telemetry.SpanRing) {
+	sp.MarkAt(telemetry.StageRespond, now)
+	total := sp.TotalNS()
+	durs := sp.StageDurs()
+	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+		if durs[st] > 0 {
+			tr.stageHist[st].Observe(durs[st])
+		}
+	}
+	if int(sp.Volume) < len(tr.volHist) {
+		tr.volHist[sp.Volume].Observe(total)
+	}
+	if sp.Forced || total >= tr.thresholdNS {
+		tr.exemplars.Inc()
+		ring.Publish(sp) // published spans are immutable; not pooled
+		return
+	}
+	tr.drop(sp)
+}
+
+// markEngine transfers an engine OpTiming onto the span: lock wait,
+// commit (store apply excluding device backpressure), and flush (time
+// blocked on device queues, re-ordered to the stage tail).
+func markEngine(sp *telemetry.Span, t prototype.OpTiming) {
+	if sp == nil {
+		return
+	}
+	sp.MarkAt(telemetry.StageLockWait, t.Locked)
+	sp.MarkAt(telemetry.StageCommit, t.Done-sim.Time(t.SinkNS))
+	if t.SinkNS > 0 {
+		sp.MarkAt(telemetry.StageFlush, t.Done)
+	}
+}
+
+// Exemplar is one attributed slow-request span.
+type Exemplar struct {
+	Span *telemetry.Span
+	// Cause is the attributed dominant cause: "backpressure", "gc",
+	// "degraded", "rebuild", "batch-deadline", "admission",
+	// "engine-lock", "wire", or "engine".
+	Cause string
+	// CauseID is the GC cycle number or failure generation when the
+	// cause is an interference interval, 0 otherwise.
+	CauseID int64
+	// Column is the interfering RAID column, -1 when not column-specific.
+	Column int32
+	// OverlapNS is how much of the span overlapped the blamed
+	// interference interval.
+	OverlapNS int64
+}
+
+// attribute tags a span with its dominant latency cause. Interference
+// overlap (GC first, then degraded/rebuild windows) takes precedence;
+// otherwise the slowest stage is blamed.
+func attribute(sp *telemetry.Span, ivs []telemetry.Interval) (cause string, id int64, col int32, overlapNS int64) {
+	if wire.Status(sp.Status) == wire.StatusBackpressure {
+		return "backpressure", 0, -1, 0
+	}
+	a, b := sp.Start, sp.End()
+	var gcBest, otherBest telemetry.Interval
+	var gcOv, otherOv int64
+	for _, iv := range ivs {
+		ov := iv.Overlap(a, b)
+		if ov <= 0 {
+			continue
+		}
+		if iv.Kind == telemetry.IntervalGC {
+			if ov > gcOv {
+				gcOv, gcBest = ov, iv
+			}
+		} else if ov > otherOv {
+			otherOv, otherBest = ov, iv
+		}
+	}
+	if gcOv > 0 {
+		return "gc", gcBest.ID, gcBest.Column, gcOv
+	}
+	if otherOv > 0 {
+		return otherBest.Kind.String(), otherBest.ID, otherBest.Column, otherOv
+	}
+	durs := sp.StageDurs()
+	worst := telemetry.StageDecode
+	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+		if durs[st] > durs[worst] {
+			worst = st
+		}
+	}
+	switch worst {
+	case telemetry.StageBatch:
+		return "batch-deadline", 0, -1, 0
+	case telemetry.StageAdmission:
+		return "admission", 0, -1, 0
+	case telemetry.StageLockWait:
+		return "engine-lock", 0, -1, 0
+	case telemetry.StageDecode, telemetry.StageRespond:
+		return "wire", 0, -1, 0
+	default:
+		return "engine", 0, -1, 0
+	}
+}
+
+// TraceSnapshot returns up to k attributed exemplars with end-to-end
+// latency of at least minNS, slowest first, drawn from every live
+// connection ring plus retired connections. Returns nil when tracing
+// is disabled.
+func (s *Server) TraceSnapshot(minNS int64, k int) []Exemplar {
+	tr := s.trace
+	if tr == nil {
+		return nil
+	}
+	if k <= 0 {
+		k = 32
+	}
+	var spans []*telemetry.Span
+	tr.mu.Lock()
+	for r := range tr.rings {
+		spans = r.Snapshot(spans)
+	}
+	tr.mu.Unlock()
+	spans = tr.retired.Snapshot(spans)
+	kept := spans[:0]
+	for _, sp := range spans {
+		if sp.TotalNS() >= minNS {
+			kept = append(kept, sp)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].TotalNS() > kept[j].TotalNS() })
+	if len(kept) > k {
+		kept = kept[:k]
+	}
+	ivs := tr.itv.Snapshot()
+	out := make([]Exemplar, len(kept))
+	for i, sp := range kept {
+		ex := Exemplar{Span: sp}
+		ex.Cause, ex.CauseID, ex.Column, ex.OverlapNS = attribute(sp, ivs)
+		out[i] = ex
+	}
+	return out
+}
+
+// TraceHandler serves the exemplar dump at /debug/trace as NDJSON.
+// Query parameters: k (max exemplars, default 32) and min_ns (latency
+// floor, default 0).
+func (s *Server) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.trace == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		k := 32
+		if v := r.URL.Query().Get("k"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "bad k", http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+		var minNS int64
+		if v := r.URL.Query().Get("min_ns"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "bad min_ns", http.StatusBadRequest)
+				return
+			}
+			minNS = n
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, ex := range s.TraceSnapshot(minNS, k) {
+			sp := ex.Span
+			durs := sp.StageDurs()
+			fmt.Fprintf(w, `{"id":%d,"vol":%d,"op":%q,"status":%q,"lba":%d,"blocks":%d,"forced":%v,"start_ns":%d,"total_ns":%d`,
+				sp.ID, sp.Volume, wire.Op(sp.Op).String(), wire.Status(sp.Status).String(),
+				sp.LBA, sp.Count, sp.Forced, int64(sp.Start), sp.TotalNS())
+			for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+				fmt.Fprintf(w, `,"%s_ns":%d`, st, durs[st])
+			}
+			fmt.Fprintf(w, `,"cause":%q,"cause_id":%d,"column":%d,"overlap_ns":%d}`+"\n",
+				ex.Cause, ex.CauseID, ex.Column, ex.OverlapNS)
+		}
+	})
+}

@@ -101,6 +101,10 @@ const (
 	// FlagNoBatch asks the server to bypass the write batcher and
 	// commit this write immediately.
 	FlagNoBatch uint16 = 1 << 0
+	// FlagTrace opts this request into exemplar capture: when server
+	// tracing is enabled its span is published to the exemplar ring
+	// regardless of the latency threshold.
+	FlagTrace uint16 = 1 << 1
 )
 
 // Status is a response status code.
@@ -313,6 +317,20 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return frame, nil
+}
+
+// ReadFrame reads one length-prefixed frame body from r, returning the
+// bytes after the prefix. A clean EOF before the first length byte is
+// returned as io.EOF. Pair with DecodeRequestOwned to split frame
+// arrival from decode — e.g. to timestamp the decode stage separately
+// from network idle time.
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
+// DecodeRequestOwned parses a request frame whose storage the caller
+// hands over: the returned payload aliases frame (no copy). frame must
+// not be reused afterwards.
+func DecodeRequestOwned(frame []byte) (Request, error) {
+	return decodeRequest(frame)
 }
 
 // ReadRequest reads and decodes one request frame from r. A clean EOF

@@ -155,7 +155,7 @@ func TestHostileStats(t *testing.T) {
 		b    []byte
 	}{
 		{"short", []byte{1, 2}},
-		{"count exceeds payload", binary.BigEndian.AppendUint32(nil, 1 << 30)},
+		{"count exceeds payload", binary.BigEndian.AppendUint32(nil, 1<<30)},
 		{"truncated entry", append(binary.BigEndian.AppendUint32(nil, 1), 0, 200)},
 		{"trailing bytes", append(AppendStats(nil, []Stat{{Name: "a", Value: 1}}), 0xff)},
 	}

@@ -17,7 +17,12 @@ import (
 //
 // All endpoints are safe to scrape while a run is in progress;
 // function-backed gauges serve the value from the last recorder tick.
-func Handler(s *Set) http.Handler {
+func Handler(s *Set) http.Handler { return HandlerWith(s, nil) }
+
+// HandlerWith is Handler plus caller-supplied routes (e.g. the block
+// server's /debug/trace exemplar dump) mounted on the same mux. Extra
+// patterns must not collide with the built-in ones.
+func HandlerWith(s *Set, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -47,18 +52,22 @@ func Handler(s *Set) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
 // Serve starts a debug HTTP server for the set on addr in the
 // background and returns the server plus the bound address (useful
-// with a ":0" listener). The caller owns shutdown via server.Close.
-func Serve(addr string, s *Set) (*http.Server, string, error) {
+// with a ":0" listener). extra routes, if any, mount alongside the
+// built-in endpoints. The caller owns shutdown via server.Close.
+func Serve(addr string, s *Set, extra map[string]http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(s)}
+	srv := &http.Server{Handler: HandlerWith(s, extra)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

@@ -27,6 +27,12 @@ const (
 	// MetricGroupBlocksPrefix is the per-group total-traffic family:
 	// lss_group_blocks_total{group="N"}.
 	MetricGroupBlocksPrefix = "lss_group_blocks_total"
+	// MetricGroupPaddingPrefix is the per-group padding-traffic family:
+	// lss_group_padding_blocks_total{group="N"}.
+	MetricGroupPaddingPrefix = "lss_group_padding_blocks_total"
+	// MetricChunkPadHistogram is the padding-blocks-per-chunk-flush
+	// histogram.
+	MetricChunkPadHistogram = "lss_chunk_pad_blocks"
 	// MetricDeviceBusyPrefix is the prototype's per-device busy-time
 	// family: proto_device_busy_ns_total{device="N"}.
 	MetricDeviceBusyPrefix = "proto_device_busy_ns_total"
@@ -77,6 +83,17 @@ const (
 	// bytes received in WRITE requests and sent in READ responses.
 	MetricServerBytesIn  = "srv_bytes_in_total"
 	MetricServerBytesOut = "srv_bytes_out_total"
+
+	// Request-tracing families (registered only when tracing is on).
+	// MetricServerStageLatencyPrefix is the per-stage latency
+	// histogram family: srv_stage_latency_ns{stage="commit"}.
+	MetricServerStageLatencyPrefix = "srv_stage_latency_ns"
+	// MetricServerRequestLatencyPrefix is the per-tenant end-to-end
+	// latency histogram family: srv_request_latency_ns{vol="0"}.
+	MetricServerRequestLatencyPrefix = "srv_request_latency_ns"
+	// MetricServerTraceExemplars counts spans published to the
+	// exemplar ring (over-threshold or client-forced).
+	MetricServerTraceExemplars = "srv_trace_exemplars_total"
 )
 
 // Window is one closed time-series window: the cumulative value of

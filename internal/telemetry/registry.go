@@ -299,6 +299,26 @@ func (r *Registry) Scalars() []Instrument {
 	return append([]Instrument(nil), r.scalars...)
 }
 
+// Histograms returns the registered histograms in registration order.
+func (r *Registry) Histograms() []*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Histogram(nil), r.hists...)
+}
+
+// Names returns every registered metric name (scalars and histograms),
+// sorted. Used by audits that pin the metric surface to a golden list.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.names))
+	for n := range r.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // WriteProm renders Prometheus text exposition format. Function gauges
 // expose the value cached at their last Refresh (recorder tick).
 func (r *Registry) WriteProm(w io.Writer) error {

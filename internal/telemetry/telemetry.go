@@ -42,11 +42,14 @@ type Options struct {
 	EventCapacity int
 }
 
-// Set bundles the three telemetry components over one shared registry.
+// Set bundles the telemetry components over one shared registry.
 type Set struct {
 	Registry *Registry
 	Recorder *Recorder
 	Tracer   *Tracer
+	// Intervals collects interference windows (GC cycles, degraded
+	// columns, rebuilds) for post-hoc tail-latency attribution.
+	Intervals *IntervalLog
 }
 
 // New builds a telemetry set with the given options.
@@ -62,8 +65,9 @@ func New(opts Options) *Set {
 	}
 	reg := NewRegistry()
 	return &Set{
-		Registry: reg,
-		Recorder: NewRecorder(reg, opts.WindowInterval, opts.MaxWindows),
-		Tracer:   NewTracer(opts.EventCapacity),
+		Registry:  reg,
+		Recorder:  NewRecorder(reg, opts.WindowInterval, opts.MaxWindows),
+		Tracer:    NewTracer(opts.EventCapacity),
+		Intervals: NewIntervalLog(opts.EventCapacity),
 	}
 }
