@@ -16,12 +16,13 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzParseTencent \
 	./internal/server/wire:FuzzWireDecode
 
-.PHONY: check build vet test race fault fuzz paranoid bench-telemetry bench-snapshot serve-smoke trace-smoke
+.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot serve-smoke trace-smoke scale-smoke
 
-## check: full local gate — vet, build, race-enabled test suite, a
-## short fuzz smoke of every target on top of the checked-in corpora,
-## and end-to-end boots of the network service (plain and traced).
-check: vet build race fuzz serve-smoke trace-smoke
+## check: full local gate — vet, build, race-enabled test suite, the
+## sharded-engine suite pinned to GOMAXPROCS=4, a short fuzz smoke of
+## every target on top of the checked-in corpora, and end-to-end boots
+## of the network service (plain and traced).
+check: vet build race race-sharded fuzz serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## race-sharded: the sharded engine and its server e2e under the race
+## detector with GOMAXPROCS pinned to 4, so leader/follower group
+## commit and cross-shard GC gating actually interleave even when the
+## ambient GOMAXPROCS is 1.
+race-sharded:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestServerE2EShardedFaultRebuild|TestSharded' \
+		./internal/server ./internal/prototype
 
 ## fuzz: give every native fuzz target a real exploration budget
 ## (FUZZTIME per target, default 10s) beyond the committed seed corpora.
@@ -67,9 +76,10 @@ bench-telemetry:
 ## events in BENCH_<date>.json. Recover benchstat-compatible text with:
 ##   jq -r 'select(.Action=="output") | .Output' BENCH_<date>.json
 bench-snapshot:
-	{ $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation|BenchmarkFault' -benchmem -benchtime 1x -count 1 . && \
-	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 ./internal/lss && \
-	  $(GO) test -json -run '^$$' -bench BenchmarkServerRoundtrip -benchmem -benchtime 2000x -count 1 ./internal/server && \
+	{ printf '{"Action":"env","GOMAXPROCS":%d,"Date":"%s"}\n' "$$(nproc)" "$(BENCH_DATE)" && \
+	  $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation|BenchmarkFault' -benchmem -benchtime 1x -count 1 . && \
+	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 -cpu 1,2,4,8 ./internal/lss && \
+	  $(GO) test -json -run '^$$' -bench BenchmarkServerRoundtrip -benchmem -benchtime 2000x -count 1 -cpu 1,2,4,8 ./internal/server && \
 	  $(GO) test -json -run '^$$' -bench BenchmarkTraceHotPath -benchmem -benchtime 1000000x -count 3 ./internal/server ; } \
 	  > BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
@@ -111,3 +121,29 @@ trace-smoke:
 	curl -sf http://127.0.0.1:19761/metrics | grep -q srv_trace_exemplars_total; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "trace-smoke OK"
+
+## scale-smoke: assert the sharded engine actually scales — boot
+## adaptserve at 1 shard and at 4 shards, drive each with the same
+## adaptload burst, and require the 4-shard aggregate throughput to be
+## at least 1.5× the 1-shard run. Needs real cores to mean anything,
+## so it skips on hosts with fewer than 4 CPUs.
+scale-smoke:
+	@set -e; \
+	if [ "$$(nproc)" -lt 4 ]; then \
+		echo "scale-smoke SKIP (need >=4 CPUs, have $$(nproc))"; exit 0; \
+	fi; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/adaptserve ./cmd/adaptload; \
+	for n in 1 4; do \
+		$$tmp/adaptserve -addr 127.0.0.1:19770 -telemetry '' -shards $$n -trace=false > $$tmp/serve$$n.log 2>&1 & pid=$$!; \
+		sleep 1; \
+		$$tmp/adaptload -addr 127.0.0.1:19770 -tenants 8 -workers 8 -duration 2s > $$tmp/load$$n.log 2>&1; \
+		kill -TERM $$pid; wait $$pid; pid=; \
+	done; \
+	one=$$(awk '/^aggregate:/ { for (i = 2; i <= NF; i++) if ($$i == "ops/s") print $$(i-1) }' $$tmp/load1.log); \
+	four=$$(awk '/^aggregate:/ { for (i = 2; i <= NF; i++) if ($$i == "ops/s") print $$(i-1) }' $$tmp/load4.log); \
+	awk -v a="$$one" -v b="$$four" 'BEGIN { \
+		printf "scale-smoke: 1 shard %.0f ops/s, 4 shards %.0f ops/s (%.2fx)\n", a, b, b/a; \
+		exit !(a > 0 && b > 1.5 * a) }'; \
+	echo "scale-smoke OK"

@@ -31,7 +31,7 @@ func main() {
 		"adaptbench -exp telemetry -series series.jsonl -events events.jsonl",
 		"adaptbench -replay series.jsonl")
 	fs := cmd.Flags()
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|tailtrace|telemetry|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|tailtrace|shardscale|telemetry|all")
 	scaleName := fs.String("scale", "small", "experiment scale: small|full")
 	policy := fs.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
 	series := fs.String("series", "", "write telemetry time-series windows (JSONL) to this file")
@@ -164,6 +164,14 @@ func main() {
 	if want("tailtrace") {
 		ran = true
 		res, err := harness.ExpTailTrace(sc, harness.PolicyNames(), harness.DefaultTailTraceOptions(sc))
+		cmd.Check(err)
+		fmt.Println(res.Render())
+	}
+	if *exp == "shardscale" {
+		// Wall-clock (not simulated) throughput, so it runs only when
+		// asked for explicitly; "all" stays deterministic.
+		ran = true
+		res, err := harness.ExpShardScale(sc, harness.DefaultShardScaleOptions(sc))
 		cmd.Check(err)
 		fmt.Println(res.Render())
 	}

@@ -39,6 +39,7 @@ func main() {
 	policy := fs.String("policy", harness.PolicyADAPT, "placement policy: sepgc|dac|warcip|mida|sepbit|adapt")
 	victim := fs.String("victim", "greedy", "GC victim policy: greedy|cost-benefit|d-choices")
 	userBlocks := fs.Int64("user-blocks", 64<<10, "array capacity in 4 KiB blocks (RAM data plane grows with it)")
+	shards := fs.Int("shards", 0, "engine shards across the LBA space (0: GOMAXPROCS, 1: unsharded)")
 	batch := fs.Bool("batch", true, "coalesce small writes into chunk-aligned group commits")
 	batchUS := fs.Int("batch-us", 0, "group-commit deadline in microseconds (0: the store's SLA window)")
 	maxInflight := fs.Int("max-inflight", 64, "per-tenant inflight ops before backpressure")
@@ -65,17 +66,21 @@ func main() {
 		cmd.UsageErrorf("unknown victim policy %q", *victim)
 	}
 	cfg := harness.StoreConfig(*userBlocks, vp)
-	pol, err := harness.BuildPolicy(*policy, cfg)
-	if err != nil {
+	if _, err := harness.BuildPolicy(*policy, cfg); err != nil {
 		cmd.UsageErrorf("%v", err)
 	}
 
 	ts := telemetry.New(telemetry.Options{})
-	eng, err := prototype.NewEngine(prototype.EngineConfig{
-		Store:       cfg,
-		Policy:      pol,
-		ServiceTime: time.Duration(*serviceUS) * time.Microsecond,
-		Telemetry:   ts,
+	eng, err := prototype.NewSharded(prototype.ShardedConfig{
+		Engine: prototype.EngineConfig{
+			Store:       cfg,
+			ServiceTime: time.Duration(*serviceUS) * time.Microsecond,
+			Telemetry:   ts,
+		},
+		Shards: *shards,
+		PolicyFactory: func(shard int, scfg lss.Config) (lss.Policy, error) {
+			return harness.BuildPolicy(*policy, scfg)
+		},
 	})
 	cmd.Check(err)
 	srv, err := server.New(server.Config{
@@ -104,8 +109,8 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	cmd.Check(err)
-	fmt.Printf("serving %d volumes × %d blocks (%s policy, batch=%v) on %s\n",
-		srv.Volumes(), srv.VolumeBlocks(), *policy, *batch, ln.Addr())
+	fmt.Printf("serving %d volumes × %d blocks (%s policy, %d shards, batch=%v) on %s\n",
+		srv.Volumes(), srv.VolumeBlocks(), *policy, eng.Shards(), *batch, ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

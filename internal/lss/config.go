@@ -98,9 +98,13 @@ type Config struct {
 	Paranoid bool
 }
 
-// withDefaults returns cfg with zero fields replaced by defaults and
-// validates the geometry.
-func (cfg Config) withDefaults(groups int) Config {
+// GeometryDefaults returns cfg with the group-independent geometry
+// fields (block/chunk/segment sizes, columns, capacity,
+// over-provisioning, SLA window, d-choices sample) defaulted. The
+// sharded engine uses it to partition the LBA space before any
+// placement policy — and therefore any group count — exists; the GC
+// watermarks stay untouched and are completed per store by New.
+func (cfg Config) GeometryDefaults() Config {
 	if cfg.BlockSize == 0 {
 		cfg.BlockSize = 4096
 	}
@@ -125,6 +129,13 @@ func (cfg Config) withDefaults(groups int) Config {
 	if cfg.DChoicesD == 0 {
 		cfg.DChoicesD = 8
 	}
+	return cfg
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults and
+// validates the geometry.
+func (cfg Config) withDefaults(groups int) Config {
+	cfg = cfg.GeometryDefaults()
 	if cfg.GCLowWater == 0 {
 		cfg.GCLowWater = groups + 2
 	}

@@ -15,6 +15,15 @@ import (
 func (s *Store) runGC() {
 	s.inGC = true
 	defer func() { s.inGC = false }()
+	if s.gcGate != nil {
+		// Cross-shard desynchronization: wait for the shared scheduler
+		// token so at most one shard's GC competes for the device
+		// columns at a time. The shard lock stays held while waiting —
+		// this shard cannot allocate anyway — but other shards keep
+		// serving; their mutexes are disjoint.
+		release := s.gcGate()
+		defer release()
+	}
 	if s.cfg.Paranoid {
 		defer s.paranoidCheck("after GC cycle")
 	}
@@ -36,7 +45,7 @@ func (s *Store) runGC() {
 		gcT0 := s.teleNow()
 		defer func() {
 			s.itv.Add(telemetry.Interval{
-				Kind: telemetry.IntervalGC, ID: cycle, Column: -1,
+				Kind: telemetry.IntervalGC, ID: cycle, Column: -1, Shard: s.shard,
 				Start: gcT0, End: s.teleNow(),
 			})
 		}()

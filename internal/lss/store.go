@@ -141,6 +141,16 @@ type Store struct {
 	// frozen at the triggering op's timestamp).
 	itv   *telemetry.IntervalLog
 	clock func() sim.Time
+	// shard is this store's shard id when it is one partition of a
+	// sharded engine, -1 standalone. Telemetry metric names gain a
+	// shard label and GC intervals carry it, so per-shard GC activity
+	// stays attributable after aggregation.
+	shard int32
+	// gcGate, when set, is invoked at the start of every GC cycle and
+	// the returned release when the cycle ends. The sharded engine
+	// serializes cross-shard GC through it so no two shards collect —
+	// and saturate the shared device columns — at the same time.
+	gcGate func() (release func())
 	// recoveredSegments/Blocks record what Recover rebuilt, reported
 	// through the tracer when telemetry attaches to a recovered store.
 	recoveredSegments int
@@ -201,6 +211,7 @@ func New(cfg Config, p Policy) *Store {
 		blockBytes:  int64(cfg.BlockSize),
 		snaps:       make([]GroupSnapshot, ngroups),
 		vidx:        newVictimIndex(total, segBlocks),
+		shard:       -1,
 	}
 	for i := range s.mapping {
 		s.mapping[i] = -1
@@ -270,6 +281,24 @@ func (s *Store) teleNow() sim.Time {
 
 // FreeSegments returns the current free-pool size.
 func (s *Store) FreeSegments() int { return len(s.free) }
+
+// SetShard marks the store as shard id of a sharded engine. Call
+// before SetTelemetry: metric names then carry a {shard="id"} label
+// (avoiding registry collisions when several shard stores share one
+// set) and GC interference intervals record the shard. The recorder
+// is not attached to a shard store — its function gauges read live
+// store state, and recorder ticks refresh every registered gauge, so
+// only the sharded engine (which can hold every shard lock) may
+// drive it.
+func (s *Store) SetShard(id int) { s.shard = int32(id) }
+
+// Shard returns the store's shard id, -1 when standalone.
+func (s *Store) Shard() int { return int(s.shard) }
+
+// SetGCGate installs a cross-shard GC admission gate: acquire runs at
+// the start of every GC cycle (it may block) and the release it
+// returns runs when the cycle completes. Pass nil to remove.
+func (s *Store) SetGCGate(acquire func() (release func())) { s.gcGate = acquire }
 
 // SetDegraded toggles degraded mode. While set, GC is throttled to
 // leave device bandwidth for the array rebuild: each cycle reclaims

@@ -6,6 +6,21 @@ import (
 	"adapt/internal/telemetry"
 )
 
+// shardName decorates a metric name with the store's shard label so
+// several shard stores can register on one telemetry set without
+// colliding. Standalone stores (shard < 0) keep the plain canonical
+// names. Names that already carry labels get ",shard=N" appended
+// inside the braces.
+func (s *Store) shardName(name string) string {
+	if s.shard < 0 {
+		return name
+	}
+	if last := len(name) - 1; last >= 0 && name[last] == '}' {
+		return fmt.Sprintf("%s,shard=\"%d\"}", name[:last], s.shard)
+	}
+	return fmt.Sprintf("%s{shard=\"%d\"}", name, s.shard)
+}
+
 // SetTelemetry attaches a telemetry set to the store: canonical store
 // metrics register as function-backed gauges over the live Metrics
 // (zero hot-path cost), the recorder begins ticking on the store's
@@ -16,6 +31,12 @@ import (
 // Attach at most one set per store, before concurrent use begins; the
 // function gauges read store state and are refreshed only at recorder
 // ticks, which run under the caller's store lock.
+//
+// Shard stores (SetShard called) register every instrument under a
+// {shard="id"} label and do NOT attach the recorder: a recorder tick
+// refreshes every function gauge on the set, including other shards'
+// store-reading gauges, so only the sharded engine — which can hold
+// all shard locks at once — may drive it.
 func (s *Store) SetTelemetry(ts *telemetry.Set) {
 	if ts == nil {
 		s.tracer = nil
@@ -25,7 +46,9 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 		return
 	}
 	s.tracer = ts.Tracer
-	s.rec = ts.Recorder
+	if s.shard < 0 {
+		s.rec = ts.Recorder
+	}
 	s.itv = ts.Intervals
 	reg := ts.Registry
 
@@ -53,18 +76,18 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 			return n
 		}},
 	} {
-		reg.NewFuncGauge(c.name, c.help, true, c.fn)
+		reg.NewFuncGauge(s.shardName(c.name), c.help, true, c.fn)
 	}
-	reg.NewFuncGauge(telemetry.MetricFreeSegments, "Free segments in the pool", false,
+	reg.NewFuncGauge(s.shardName(telemetry.MetricFreeSegments), "Free segments in the pool", false,
 		func() int64 { return int64(len(s.free)) })
 	for i := range s.groups {
 		i := i
 		reg.NewFuncGauge(
-			fmt.Sprintf("%s{group=\"%d\"}", telemetry.MetricGroupBlocksPrefix, i),
+			s.shardName(fmt.Sprintf("%s{group=\"%d\"}", telemetry.MetricGroupBlocksPrefix, i)),
 			"Block slots written into the group", true,
 			func() int64 { return s.metrics.PerGroup[i].TotalBlocks() })
 		reg.NewFuncGauge(
-			fmt.Sprintf("%s{group=\"%d\"}", telemetry.MetricGroupPaddingPrefix, i),
+			s.shardName(fmt.Sprintf("%s{group=\"%d\"}", telemetry.MetricGroupPaddingPrefix, i)),
 			"Zero-padding block slots written into the group", true,
 			func() int64 { return s.metrics.PerGroup[i].PaddingBlocks })
 	}
@@ -72,7 +95,7 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 	if last := int64(s.chunkBlocks); last > bounds[len(bounds)-1] {
 		bounds = append(bounds, last)
 	}
-	s.padHist = reg.NewHistogram(telemetry.MetricChunkPadHistogram,
+	s.padHist = reg.NewHistogram(s.shardName(telemetry.MetricChunkPadHistogram),
 		"Padding blocks per chunk flush", bounds)
 
 	if s.recoveredSegments > 0 {

@@ -12,30 +12,153 @@ import (
 	"adapt/internal/telemetry"
 )
 
+// Ingest is the request-facing engine API: everything the network
+// server and the harness need to drive traffic, implemented by both
+// the flat Engine (one store, one lock) and the Sharded router (one
+// store per core). All methods are safe for concurrent use.
+type Ingest interface {
+	// Config returns the aggregate store geometry (UserBlocks covers
+	// the whole LBA space even when sharded).
+	Config() lss.Config
+	// Now returns the engine's wall-derived simulated time.
+	Now() sim.Time
+
+	Write(lba int64, blocks int) error
+	WriteTimed(lba int64, blocks int) (OpTiming, error)
+	WriteBatch(ops []BatchWrite) error
+	WriteBatchTimed(ops []BatchWrite) (OpTiming, error)
+	Read(lba int64, blocks int) error
+	ReadTimed(lba int64, blocks int) (OpTiming, error)
+	Trim(lba int64, blocks int) error
+	TrimTimed(lba int64, blocks int) (OpTiming, error)
+
+	FailColumn(col int) error
+	RebuildStep(maxChunks int) (rebuilt int, done bool, err error)
+	Degraded() bool
+
+	Stats() EngineStats
+	// ShardStats returns per-shard snapshots (one entry for a flat
+	// engine), for per-shard attribution in the serving layer.
+	ShardStats() []EngineStats
+	// Shards returns the shard count (1 for a flat engine).
+	Shards() int
+	// ShardOf maps a global LBA to the shard that owns it (always 0
+	// for a flat engine).
+	ShardOf(lba int64) int
+
+	Drain() error
+	Close() error
+}
+
+// deviceArray models the physical SSD array: per-column bounded
+// queues drained by workers that accrue the configured service time
+// per chunk and throttle to the modelled bandwidth. One deviceArray
+// backs one flat engine or every shard of a sharded engine — shards
+// partition the LBA space, not the hardware.
+type deviceArray struct {
+	devices      []*device
+	wg           sync.WaitGroup
+	start        time.Time
+	readService  time.Duration
+	writeService time.Duration
+	closeOnce    sync.Once
+}
+
+func newDeviceArray(ncols, queueDepth int, writeService, readService time.Duration) *deviceArray {
+	da := &deviceArray{
+		devices:      make([]*device, ncols),
+		start:        time.Now(),
+		readService:  readService,
+		writeService: writeService,
+	}
+	for i := range da.devices {
+		da.devices[i] = &device{ch: make(chan chunkJob, queueDepth)}
+	}
+	for _, d := range da.devices {
+		da.wg.Add(1)
+		go func(d *device) {
+			defer da.wg.Done()
+			var virtual time.Duration
+			for job := range d.ch {
+				if job.read {
+					virtual += da.readService
+					d.busyNS.Add(int64(da.readService))
+				} else {
+					virtual += da.writeService
+					d.busyNS.Add(int64(da.writeService))
+				}
+				d.chunks.Inc()
+				d.written++
+				// Throttle to the modelled bandwidth, sleeping only
+				// when the debt is large enough for the OS timer.
+				if lag := virtual - time.Since(da.start); lag > 2*time.Millisecond {
+					time.Sleep(lag)
+				}
+			}
+		}(d)
+	}
+	return da
+}
+
+// now is the array's wall-derived simulated clock, shared by every
+// engine on it so interference intervals and spans align.
+func (da *deviceArray) now() sim.Time { return sim.Time(time.Since(da.start)) }
+
+// registerTelemetry exposes per-device counters and queue gauges.
+// Call at most once per array (the owner does).
+func (da *deviceArray) registerTelemetry(ts *telemetry.Set) {
+	for i, d := range da.devices {
+		d.busyNS = ts.Registry.NewCounter(
+			fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceBusyPrefix, i),
+			"Modelled device service time consumed")
+		d.chunks = ts.Registry.NewCounter(
+			fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceChunksPrefix, i),
+			"Chunk operations serviced")
+		ch := d.ch
+		ts.Registry.NewFuncGauge(
+			fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceQueuePrefix, i),
+			"Queued chunk operations", false,
+			func() int64 { return int64(len(ch)) })
+	}
+}
+
+// close shuts the device queues and waits for the workers. Safe to
+// call once; callers must guarantee no further sends.
+func (da *deviceArray) close() {
+	da.closeOnce.Do(func() {
+		for _, d := range da.devices {
+			close(d.ch)
+		}
+	})
+	da.wg.Wait()
+}
+
 // Engine is the ingest API for external request sources: it wraps the
 // log-structured store and the bandwidth-modelled device array behind a
 // mutex so network servers (internal/server) and other live producers
 // can drive the same RAID-5 pipeline that Run exercises with its
-// internal clients. Simulated time is wall-derived (time since engine
+// internal clients. Simulated time is wall-derived (time since array
 // start), so the store's SLA-window padding runs against real request
 // interarrival gaps.
 //
 // All methods are safe for concurrent use. Chunk flushes dispatch to
 // bounded per-device queues under the engine lock, so a saturated
 // device applies backpressure to every producer, exactly as in Run.
+//
+// An Engine is either standalone (NewEngine: it owns its device
+// array, shard id -1) or one shard of a Sharded router (the router
+// owns the shared array and the shard sees a private slice of the
+// LBA space).
 type Engine struct {
 	mu     sync.Mutex
 	store  *lss.Store
 	oracle *checker.Oracle
 	rng    *sim.RNG
 
-	devices []*device
-	devWG   sync.WaitGroup
-	ncols   int
-
-	start        time.Time
-	readService  time.Duration
-	writeService time.Duration
+	devs     *deviceArray
+	ownsDevs bool
+	shard    int32 // -1 standalone, else the shard id
+	ncols    int
 
 	stripeFill   int
 	parityRow    int64
@@ -98,9 +221,9 @@ type BatchWrite struct {
 	Blocks int
 }
 
-// NewEngine builds and starts an ingest engine. The caller must Close
-// it to drain open chunks and stop the device workers.
-func NewEngine(cfg EngineConfig) (*Engine, error) {
+// withDefaults fills the device-model defaults shared by the flat and
+// sharded constructors.
+func (cfg EngineConfig) withDefaults() EngineConfig {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 8
 	}
@@ -110,28 +233,47 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.ReadServiceTime <= 0 {
 		cfg.ReadServiceTime = cfg.ServiceTime / 2
 	}
+	return cfg
+}
+
+// NewEngine builds and starts a standalone ingest engine. The caller
+// must Close it to drain open chunks and stop the device workers.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg = cfg.withDefaults()
 	if cfg.VerifyMirror && !cfg.Verify {
 		return nil, fmt.Errorf("prototype: VerifyMirror requires Verify")
 	}
+	return newEngineOn(cfg, nil, -1, true)
+}
+
+// newEngineOn builds an engine over an existing device array (nil:
+// create a private one from the store geometry). shard is -1 for a
+// standalone engine; owns marks the engine as the array's owner (it
+// registers device telemetry and closes the array).
+func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool) (*Engine, error) {
 	store := lss.New(cfg.Store, cfg.Policy)
-	e := &Engine{
-		store:        store,
-		rng:          sim.NewRNG(0xe116),
-		ncols:        store.Config().DataColumns + 1,
-		start:        time.Now(),
-		readService:  cfg.ReadServiceTime,
-		writeService: cfg.ServiceTime,
+	if shard >= 0 {
+		store.SetShard(shard)
 	}
+	var oracle *checker.Oracle
 	if cfg.Verify {
 		o, err := checker.New(store, checker.Options{Mirror: cfg.VerifyMirror})
 		if err != nil {
 			return nil, err
 		}
-		e.oracle = o
+		oracle = o
 	}
-	e.devices = make([]*device, e.ncols)
-	for i := range e.devices {
-		e.devices[i] = &device{ch: make(chan chunkJob, cfg.QueueDepth)}
+	if da == nil {
+		da = newDeviceArray(store.Config().DataColumns+1, cfg.QueueDepth, cfg.ServiceTime, cfg.ReadServiceTime)
+	}
+	e := &Engine{
+		store:    store,
+		oracle:   oracle,
+		rng:      sim.NewRNG(0xe116 + uint64(shard+1)*0x9e37),
+		devs:     da,
+		ownsDevs: owns,
+		shard:    int32(shard),
+		ncols:    store.Config().DataColumns + 1,
 	}
 	if ts := cfg.Telemetry; ts != nil {
 		store.SetTelemetry(ts)
@@ -139,64 +281,38 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		// duration of a synchronous GC cycle; interference intervals
 		// need real elapsed time, so give it the wall-derived clock.
 		e.itv = ts.Intervals
-		store.SetClock(func() sim.Time { return sim.Time(time.Since(e.start)) })
-		if p, ok := cfg.Policy.(interface {
-			SetTelemetry(*telemetry.Set)
-		}); ok {
-			p.SetTelemetry(ts)
+		store.SetClock(da.now)
+		if shard < 0 {
+			// Policy instruments register under fixed names, so only a
+			// standalone engine (one policy on the set) may wire them.
+			if p, ok := cfg.Policy.(interface {
+				SetTelemetry(*telemetry.Set)
+			}); ok {
+				p.SetTelemetry(ts)
+			}
 		}
-		for i, d := range e.devices {
-			d.busyNS = ts.Registry.NewCounter(
-				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceBusyPrefix, i),
-				"Modelled device service time consumed")
-			d.chunks = ts.Registry.NewCounter(
-				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceChunksPrefix, i),
-				"Chunk operations serviced")
-			ch := d.ch
-			ts.Registry.NewFuncGauge(
-				fmt.Sprintf("%s{device=\"%d\"}", telemetry.MetricDeviceQueuePrefix, i),
-				"Queued chunk operations", false,
-				func() int64 { return int64(len(ch)) })
+		if owns {
+			da.registerTelemetry(ts)
 		}
 	}
 	// The sink runs under the engine lock (the store is only entered
-	// with it held); RAID-5 rotation matches Run's.
+	// with it held); RAID-5 rotation matches Run's. Each shard rotates
+	// its own stripe cursor over the shared columns.
 	store.SetChunkSink(func(w lss.ChunkWrite) {
 		parityCol := int(e.parityRow % int64(e.ncols))
 		col := e.stripeFill
 		if col >= parityCol {
 			col++
 		}
-		e.sinkSend(e.devices[col], chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
+		e.sinkSend(e.devs.devices[col], chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
 		e.stripeFill++
 		if e.stripeFill == e.ncols-1 {
-			e.sinkSend(e.devices[parityCol], chunkJob{payload: int64(store.Config().ChunkBytes())})
+			e.sinkSend(e.devs.devices[parityCol], chunkJob{payload: int64(store.Config().ChunkBytes())})
 			e.parityChunks++
 			e.stripeFill = 0
 			e.parityRow++
 		}
 	})
-	for _, d := range e.devices {
-		e.devWG.Add(1)
-		go func(d *device) {
-			defer e.devWG.Done()
-			var virtual time.Duration
-			for job := range d.ch {
-				if job.read {
-					virtual += e.readService
-					d.busyNS.Add(int64(e.readService))
-				} else {
-					virtual += e.writeService
-					d.busyNS.Add(int64(e.writeService))
-				}
-				d.chunks.Inc()
-				d.written++
-				if lag := virtual - time.Since(e.start); lag > 2*time.Millisecond {
-					time.Sleep(lag)
-				}
-			}
-		}(d)
-	}
 	if cfg.Fill {
 		for lba := int64(0); lba < store.Config().UserBlocks; lba++ {
 			if err := e.Write(lba, 1); err != nil {
@@ -208,23 +324,32 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
-// abort stops the device workers without draining the store (used when
-// construction fails after they started).
+// abort stops the engine (and, if it owns them, the device workers)
+// without draining the store — used when construction fails after the
+// workers started.
 func (e *Engine) abort() {
 	e.mu.Lock()
 	e.closed = true
-	for _, d := range e.devices {
-		close(d.ch)
-	}
 	e.mu.Unlock()
-	e.devWG.Wait()
+	if e.ownsDevs {
+		e.devs.close()
+	}
 }
 
 // Config returns the store's effective (defaulted) configuration.
 func (e *Engine) Config() lss.Config { return e.store.Config() }
 
 // Now returns the engine's wall-derived simulated time.
-func (e *Engine) Now() sim.Time { return sim.Time(time.Since(e.start)) }
+func (e *Engine) Now() sim.Time { return e.devs.now() }
+
+// Shards returns 1: a standalone engine is a single shard.
+func (e *Engine) Shards() int { return 1 }
+
+// ShardOf always returns 0 on a standalone engine.
+func (e *Engine) ShardOf(lba int64) int { return 0 }
+
+// ShardStats returns the single-shard snapshot.
+func (e *Engine) ShardStats() []EngineStats { return []EngineStats{e.Stats()} }
 
 // sinkSend dispatches a chunk job onto a device queue. Caller holds
 // e.mu. When an op is being timed, time blocked on a full queue is
@@ -339,7 +464,7 @@ func (e *Engine) WriteBatchTimed(ops []BatchWrite) (OpTiming, error) {
 }
 
 func (e *Engine) writeLocked(lba int64, blocks int) error {
-	now := sim.Time(time.Since(e.start))
+	now := e.Now()
 	if e.oracle != nil {
 		return e.oracle.Write(lba, blocks, now)
 	}
@@ -355,13 +480,13 @@ func (e *Engine) Read(lba int64, blocks int) error {
 	if e.closed {
 		return ErrEngineClosed
 	}
-	now := sim.Time(time.Since(e.start))
+	now := e.Now()
 	if e.oracle != nil {
 		e.oracle.Read(lba, blocks, now)
 	} else {
 		e.store.Read(lba, blocks, now)
 	}
-	e.sinkSend(e.devices[e.rng.Intn(len(e.devices))], chunkJob{read: true})
+	e.sinkSend(e.devs.devices[e.rng.Intn(len(e.devs.devices))], chunkJob{read: true})
 	return nil
 }
 
@@ -376,13 +501,13 @@ func (e *Engine) ReadTimed(lba int64, blocks int) (OpTiming, error) {
 		return t, ErrEngineClosed
 	}
 	e.timeBegin()
-	now := sim.Time(time.Since(e.start))
+	now := e.Now()
 	if e.oracle != nil {
 		e.oracle.Read(lba, blocks, now)
 	} else {
 		e.store.Read(lba, blocks, now)
 	}
-	e.sinkSend(e.devices[e.rng.Intn(len(e.devices))], chunkJob{read: true})
+	e.sinkSend(e.devs.devices[e.rng.Intn(len(e.devs.devices))], chunkJob{read: true})
 	e.timeEnd(&t)
 	return t, nil
 }
@@ -398,7 +523,7 @@ func (e *Engine) TrimTimed(lba int64, blocks int) (OpTiming, error) {
 		return t, ErrEngineClosed
 	}
 	e.timeBegin()
-	now := sim.Time(time.Since(e.start))
+	now := e.Now()
 	var err error
 	if e.oracle != nil {
 		err = e.oracle.Trim(lba, blocks, now)
@@ -416,7 +541,7 @@ func (e *Engine) Trim(lba int64, blocks int) error {
 	if e.closed {
 		return ErrEngineClosed
 	}
-	now := sim.Time(time.Since(e.start))
+	now := e.Now()
 	if e.oracle != nil {
 		return e.oracle.Trim(lba, blocks, now)
 	}
@@ -439,7 +564,7 @@ func (e *Engine) FailColumn(col int) error {
 	}
 	e.failGen++
 	e.itv.Close(e.degradedTok, e.Now()) // a prior failure's window, if any
-	e.degradedTok = e.itv.Open(telemetry.IntervalDegraded, e.failGen, int32(col), e.Now())
+	e.degradedTok = e.itv.Open(telemetry.IntervalDegraded, e.failGen, int32(col), e.shard, e.Now())
 	return nil
 }
 
@@ -485,12 +610,21 @@ type EngineStats struct {
 	WA           float64
 	EffectiveWA  float64
 	PaddingRatio float64
+	// GCGateWaits/GCGateWaitNS count GC cycles that had to wait for the
+	// cross-shard scheduler token, and the total time they waited.
+	// Always zero on a flat engine.
+	GCGateWaits  int64
+	GCGateWaitNS int64
 }
 
 // Stats returns a snapshot of the engine's accounting.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.statsLocked()
+}
+
+func (e *Engine) statsLocked() EngineStats {
 	m := e.store.Metrics()
 	st := EngineStats{
 		UserBlocks:    m.UserBlocks,
@@ -526,7 +660,7 @@ func (e *Engine) Drain() error {
 }
 
 func (e *Engine) drainLocked() error {
-	now := sim.Time(time.Since(e.start))
+	now := e.Now()
 	if e.oracle != nil {
 		return e.oracle.Drain(now)
 	}
@@ -534,9 +668,9 @@ func (e *Engine) drainLocked() error {
 	return nil
 }
 
-// Close drains the store, stops the device workers, and (with Verify)
-// runs the final full cross-check. The engine rejects all traffic
-// afterwards.
+// Close drains the store, stops the device workers (when this engine
+// owns them), and (with Verify) runs the final full cross-check. The
+// engine rejects all traffic afterwards.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -545,11 +679,10 @@ func (e *Engine) Close() error {
 	}
 	err := e.drainLocked()
 	e.closed = true
-	for _, d := range e.devices {
-		close(d.ch)
-	}
 	e.mu.Unlock()
-	e.devWG.Wait()
+	if e.ownsDevs {
+		e.devs.close()
+	}
 	if ierr := e.store.CheckInvariants(); err == nil && ierr != nil {
 		err = fmt.Errorf("prototype: engine close invariants: %w", ierr)
 	}

@@ -103,6 +103,36 @@ type trafficSnap struct {
 	user, gc int64
 }
 
+// faultTargets is the set of stores one physical column failure
+// degrades, behind the locker that serializes access to them. A column
+// is shared hardware: the flat prototype passes its single run store,
+// a sharded deployment passes every shard store — shards partition the
+// LBA space, not the columns, so a failed column degrades all of them.
+type faultTargets struct {
+	mu     sync.Locker
+	stores []*lss.Store
+}
+
+// snap sums the traffic counters across the target stores. Caller
+// holds the locker (or has exclusive access).
+func (t faultTargets) snap() trafficSnap {
+	var s trafficSnap
+	for _, st := range t.stores {
+		m := st.Metrics()
+		s.user += m.UserBlocks
+		s.gc += m.GCBlocks
+	}
+	return s
+}
+
+// setDegraded flips degraded-mode GC on every target store. Caller
+// holds the locker.
+func (t faultTargets) setDegraded(v bool) {
+	for _, st := range t.stores {
+		st.SetDegraded(v)
+	}
+}
+
 // faultRun is the per-run state of the fault injector. A nil *faultRun
 // is the healthy fast path: dispatch degenerates to a plain channel
 // send and every probe reports "no failure".
@@ -237,22 +267,22 @@ func (fr *faultRun) degradedTarget(col int) bool {
 
 // enterPhaseLocked records a phase boundary: traffic snapshot, wall
 // time, and the lock-free phase flag. Caller holds the run mutex.
-func (fr *faultRun) enterPhaseLocked(p Phase, m *lss.Metrics) {
-	fr.snaps[p] = trafficSnap{user: m.UserBlocks, gc: m.GCBlocks}
+func (fr *faultRun) enterPhaseLocked(p Phase, s trafficSnap) {
+	fr.snaps[p] = s
 	fr.startT[p] = time.Now()
 	fr.entered[p] = true
 	fr.phase.Store(int32(p))
 }
 
-// fail fires the planned failure: freezes the rebuild total, flips the
-// store into degraded-mode GC, and enters PhaseDegraded. Exactly one
-// client calls it (the one whose op counter hits failOp).
-func (fr *faultRun) fail(mu *sync.Mutex, store *lss.Store, now sim.Time) {
-	mu.Lock()
+// fail fires the planned failure: freezes the rebuild total, flips
+// every target store into degraded-mode GC, and enters PhaseDegraded.
+// Exactly one client calls it (the one whose op counter hits failOp).
+func (fr *faultRun) fail(t faultTargets, now sim.Time) {
+	t.mu.Lock()
 	fr.rebuildTotal = fr.colChunks[fr.failDev]
-	store.SetDegraded(true)
-	fr.enterPhaseLocked(PhaseDegraded, store.Metrics())
-	mu.Unlock()
+	t.setDegraded(true)
+	fr.enterPhaseLocked(PhaseDegraded, t.snap())
+	t.mu.Unlock()
 	fr.tracer.Emit(telemetry.DeviceFailed(now, fr.failDev, fr.failOp))
 }
 
@@ -335,12 +365,12 @@ func (fr *faultRun) waitForRebuild(issued *atomic.Int64, clientsDone <-chan stru
 // reconstruction read on every surviving column plus the spare write
 // through the same bounded queues user traffic uses — rebuild I/O
 // steals real modelled bandwidth. Once progress passes the watermark
-// the store leaves degraded-mode GC; completion enters PhaseRebuilt.
-func (fr *faultRun) rebuild(devices []*device, mu *sync.Mutex, store *lss.Store, start time.Time, chunkBytes int64) {
-	mu.Lock()
+// the stores leave degraded-mode GC; completion enters PhaseRebuilt.
+func (fr *faultRun) rebuild(devices []*device, t faultTargets, start time.Time, chunkBytes int64) {
+	t.mu.Lock()
 	total := fr.rebuildTotal
-	fr.enterPhaseLocked(PhaseRebuilding, store.Metrics())
-	mu.Unlock()
+	fr.enterPhaseLocked(PhaseRebuilding, t.snap())
+	t.mu.Unlock()
 	fr.tracer.Emit(telemetry.RebuildStart(sim.Time(time.Since(start)), fr.failDev, total))
 
 	cleared := false
@@ -362,16 +392,16 @@ func (fr *faultRun) rebuild(devices []*device, mu *sync.Mutex, store *lss.Store,
 		done += n
 		fr.rebuilt.Add(n)
 		if !cleared && float64(done) >= fr.cfg.DegradedGCWatermark*float64(total) {
-			mu.Lock()
-			store.SetDegraded(false)
-			mu.Unlock()
+			t.mu.Lock()
+			t.setDegraded(false)
+			t.mu.Unlock()
 			cleared = true
 		}
 	}
-	mu.Lock()
-	store.SetDegraded(false)
-	fr.enterPhaseLocked(PhaseRebuilt, store.Metrics())
-	mu.Unlock()
+	t.mu.Lock()
+	t.setDegraded(false)
+	fr.enterPhaseLocked(PhaseRebuilt, t.snap())
+	t.mu.Unlock()
 	fr.tracer.Emit(telemetry.RebuildEnd(sim.Time(time.Since(start)), fr.failDev, total))
 }
 

@@ -210,12 +210,13 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	}
+	var mu sync.Mutex
+	targets := faultTargets{mu: &mu, stores: []*lss.Store{store}}
 	measureStart := time.Now()
 	if fr != nil {
-		fr.enterPhaseLocked(PhaseHealthy, store.Metrics())
+		fr.enterPhaseLocked(PhaseHealthy, targets.snap())
 	}
 
-	var mu sync.Mutex
 	var issued atomic.Int64
 	var clientWG sync.WaitGroup
 	clientsDone := make(chan struct{})
@@ -225,7 +226,7 @@ func Run(cfg Config) (Result, error) {
 		go func() {
 			defer rebuildWG.Done()
 			if fr.waitForRebuild(&issued, clientsDone) {
-				fr.rebuild(devices, &mu, store, start, int64(store.Config().ChunkBytes()))
+				fr.rebuild(devices, targets, start, int64(store.Config().ChunkBytes()))
 			}
 		}()
 	}
@@ -243,7 +244,7 @@ func Run(cfg Config) (Result, error) {
 					break
 				}
 				if fr != nil && op == fr.failOp {
-					fr.fail(&mu, store, sim.Time(time.Since(start)))
+					fr.fail(targets, sim.Time(time.Since(start)))
 				}
 				lba := z.Next()
 				var p Phase

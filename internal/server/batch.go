@@ -2,14 +2,19 @@ package server
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"adapt/internal/prototype"
 	"adapt/internal/telemetry"
 )
 
-// batchItem is one WRITE waiting in a volume's group commit.
-type batchItem struct {
+// commitReq is one WRITE waiting in a shard's group commit: a node of
+// the committer's lock-free writer list. The done callback fires
+// exactly once, after the group commit that includes the write.
+type commitReq struct {
+	next    *commitReq
+	vol     *volume
 	lba     int64 // volume-relative
 	blocks  int
 	payload []byte
@@ -17,194 +22,187 @@ type batchItem struct {
 	done    func(err error)
 }
 
-// batcher coalesces one volume's small writes into chunk-aligned group
-// commits: writes accumulate until they fill a whole array chunk (or
-// more) or until the oldest has waited BatchTimeout — the serving-layer
-// twin of the paper's SLA-driven padding deadline. A full batch lands
-// in the store back-to-back under a single engine lock acquisition and
-// timestamp, so the open chunk fills before the store's own SLA window
-// can force zero padding; a timed-out partial batch commits small and
-// leaves padding to the store, exactly as an unfilled chunk would on
-// the array.
-type batcher struct {
-	vol       *volume
-	eng       *prototype.Engine
+// shardCommitter coalesces writes bound for one engine shard into
+// chunk-aligned group commits with a lock-free leader/follower
+// protocol: writers CAS their request onto the writer list and return;
+// the writer whose push found the list empty becomes the leader,
+// gathers until the batch fills a chunk (or the deadline/quiesce
+// heuristics fire), claims the whole list with one atomic swap, and
+// commits it under a single engine lock acquisition. Followers never
+// touch the engine lock — they park in their connection's response
+// path until the leader's done callback acks them.
+//
+// The invariant is that a non-empty list always has exactly one
+// leader responsible for it: a pusher that finds the list empty spawns
+// the leader, and the leader's claiming swap empties the list, so the
+// next pusher spawns the next leader. Two leaders can overlap (one
+// committing its claimed list while the next gathers), but they own
+// disjoint requests and the shard's engine lock serializes the actual
+// commits.
+//
+// Group sizing mirrors the paper's SLA-driven padding deadline, as the
+// channel batcher before it did: a full chunk commits immediately, a
+// partial batch commits small when the submission stream quiesces or
+// the deadline passes, and the store pads what never fills.
+type shardCommitter struct {
 	srv       *Server
+	shard     int
 	timeout   time.Duration
 	maxBlocks int
 
-	ch      chan batchItem
-	flushCh chan chan struct{}
+	// head is the LIFO writer list. pendingBlocks tracks blocks pushed
+	// but not yet committed, for the leader's fill check; enq/committed
+	// count requests for the FLUSH barrier; flushGen kicks a gathering
+	// leader so a FLUSH never waits out a long deadline.
+	head          atomic.Pointer[commitReq]
+	pendingBlocks atomic.Int64
+	enq           atomic.Int64
+	committed     atomic.Int64
+	flushGen      atomic.Int64
 }
 
-func newBatcher(srv *Server, vol *volume, timeout time.Duration, maxBlocks, depth int) *batcher {
-	b := &batcher{
-		vol:       vol,
-		eng:       srv.eng,
-		srv:       srv,
-		timeout:   timeout,
-		maxBlocks: maxBlocks,
-		ch:        make(chan batchItem, depth),
-		flushCh:   make(chan chan struct{}),
+func newShardCommitter(srv *Server, shard int, timeout time.Duration, maxBlocks int) *shardCommitter {
+	return &shardCommitter{srv: srv, shard: shard, timeout: timeout, maxBlocks: maxBlocks}
+}
+
+// enqueue pushes a write onto the writer list and spawns the leader if
+// the list was empty. Lock-free: the only synchronization is the CAS.
+func (c *shardCommitter) enqueue(r *commitReq) {
+	c.enq.Add(1)
+	c.pendingBlocks.Add(int64(r.blocks))
+	for {
+		old := c.head.Load()
+		r.next = old
+		if c.head.CompareAndSwap(old, r) {
+			if old == nil {
+				c.srv.batWG.Add(1)
+				go c.lead()
+			}
+			return
+		}
 	}
-	srv.batWG.Add(1)
-	go func() {
-		defer srv.batWG.Done()
-		b.run()
-	}()
-	return b
-}
-
-// enqueue hands a write to the batcher. The item's done callback fires
-// exactly once, after the group commit that includes it.
-func (b *batcher) enqueue(it batchItem) { b.ch <- it }
-
-// flush commits everything pending and returns once it is applied.
-func (b *batcher) flush() {
-	ack := make(chan struct{})
-	b.flushCh <- ack
-	<-ack
 }
 
 // quiesceYields bounds the yield-poll window after the submission
 // stream goes quiet: once this many consecutive scheduler yields see
 // no new write, the group commits early rather than waiting out the
 // full deadline. Kernel timers are far too coarse for sub-millisecond
-// group-commit deadlines (observed granularity >1 ms), so the batcher
-// never parks on a timer in the hot path; in a closed-loop pipeline a
-// quiet channel means every in-flight write has already joined the
-// batch and waiting longer buys nothing.
+// group-commit deadlines (observed granularity >1 ms), so the leader
+// never parks on a timer; in a closed-loop pipeline a quiet list means
+// every in-flight write has already joined and waiting buys nothing.
 const quiesceYields = 16
 
-func (b *batcher) run() {
-	var pending []batchItem
-	var blocks int
+// lead runs one leader turn: gather, claim, commit.
+func (c *shardCommitter) lead() {
+	defer c.srv.batWG.Done()
+	c.gather()
+	c.commitList(c.head.Swap(nil))
+}
 
-	apply := func() {
-		if len(pending) == 0 {
+// gather waits for the batch to fill a chunk, bounded by the
+// group-commit deadline, a quiesced submission stream, a FLUSH kick,
+// or server drain — whichever comes first.
+func (c *shardCommitter) gather() {
+	if c.srv.draining.Load() {
+		return
+	}
+	deadline := time.Now().Add(c.timeout)
+	gen := c.flushGen.Load()
+	seen := c.enq.Load()
+	for idle := 0; idle < quiesceYields; {
+		if c.pendingBlocks.Load() >= int64(c.maxBlocks) {
 			return
 		}
-		b.commit(pending, blocks)
-		pending = pending[:0]
-		blocks = 0
-	}
-
-	// drainCh closes when the server shuts down; from then on every
-	// write commits immediately so no ack waits out the group-commit
-	// deadline during drain.
-	drainCh := b.srv.drainCh
-	immediate := false
-	for {
-		select {
-		case it, ok := <-b.ch:
-			if !ok {
-				return // channel empty: nothing pending to drain
-			}
-			pending = append(pending, it)
-			blocks += it.blocks
-			if !immediate {
-				closed := b.gather(&pending, &blocks)
-				apply()
-				if closed {
-					return
-				}
-			} else {
-				apply()
-			}
-		case ack := <-b.flushCh:
-			// The barrier must cover writes already sitting in b.ch: the
-			// conn reader enqueues a write before it can dispatch the
-			// tenant's following FLUSH, but this select has no ordering
-			// between the two channels.
-			chClosed := b.drainQueued(&pending, &blocks)
-			apply()
-			close(ack)
-			if chClosed {
-				return
-			}
-		case <-drainCh:
-			drainCh = nil // fire once; the select case disables itself
-			immediate = true
+		if c.flushGen.Load() != gen || c.srv.draining.Load() {
+			return
 		}
-	}
-}
-
-// drainQueued moves every already-buffered write into the open batch
-// without blocking. Returns true when b.ch closed.
-func (b *batcher) drainQueued(pending *[]batchItem, blocks *int) (closed bool) {
-	for {
-		select {
-		case it, ok := <-b.ch:
-			if !ok {
-				return true
-			}
-			*pending = append(*pending, it)
-			*blocks += it.blocks
-		default:
-			return false
+		if !time.Now().Before(deadline) {
+			return
 		}
-	}
-}
-
-// gather grows the open batch until it fills maxBlocks, the submission
-// stream quiesces, or the group-commit deadline passes — whichever
-// comes first. Returns true when b.ch closed mid-gather.
-func (b *batcher) gather(pending *[]batchItem, blocks *int) (closed bool) {
-	deadline := time.Now().Add(b.timeout)
-	idle := 0
-	for *blocks < b.maxBlocks && idle < quiesceYields {
-		select {
-		case it, ok := <-b.ch:
-			if !ok {
-				return true
-			}
-			*pending = append(*pending, it)
-			*blocks += it.blocks
-			idle = 0
-		default:
-			if !time.Now().Before(deadline) {
-				return false
-			}
-			runtime.Gosched()
+		runtime.Gosched()
+		if cur := c.enq.Load(); cur != seen {
+			seen, idle = cur, 0
+		} else {
 			idle++
 		}
 	}
-	return false
 }
 
-// commit applies one group commit: payload bytes land in the volume's
-// data plane, then every write hits the store under one engine lock
-// hold, then every waiter is acked.
-func (b *batcher) commit(items []batchItem, blocks int) {
-	ops := make([]prototype.BatchWrite, len(items))
+// commitList applies one claimed writer list as a single group commit:
+// payload bytes land in each volume's data plane, every write hits the
+// engine back-to-back under one lock acquisition and timestamp, then
+// every follower is acked.
+func (c *shardCommitter) commitList(head *commitReq) {
+	if head == nil {
+		return
+	}
+	n := 0
+	for r := head; r != nil; r = r.next {
+		n++
+	}
+	// The CAS list is LIFO; reverse to arrival order so the commit
+	// replays writes the way the wire delivered them.
+	items := make([]*commitReq, n)
+	i := n
+	for r := head; r != nil; r = r.next {
+		i--
+		items[i] = r
+	}
+	ops := make([]prototype.BatchWrite, n)
+	blocks := 0
 	traced := false
-	for i := range items {
-		b.vol.writeData(items[i].lba, items[i].payload)
-		ops[i] = prototype.BatchWrite{LBA: b.vol.base + items[i].lba, Blocks: items[i].blocks}
-		traced = traced || items[i].sp != nil
+	for i, r := range items {
+		r.vol.writeData(r.lba, r.payload)
+		ops[i] = prototype.BatchWrite{LBA: r.vol.base + r.lba, Blocks: r.blocks}
+		blocks += r.blocks
+		traced = traced || r.sp != nil
 	}
 	var err error
 	if traced {
 		// The gather window ends here; the whole group commit shares one
 		// engine timing, stamped onto every member's span.
-		gatherEnd := b.eng.Now()
-		for i := range items {
-			items[i].sp.MarkAt(telemetry.StageBatch, gatherEnd)
+		gatherEnd := c.srv.eng.Now()
+		for _, r := range items {
+			r.sp.MarkAt(telemetry.StageBatch, gatherEnd)
 		}
 		var t prototype.OpTiming
-		t, err = b.eng.WriteBatchTimed(ops)
-		for i := range items {
-			markEngine(items[i].sp, t)
+		t, err = c.srv.eng.WriteBatchTimed(ops)
+		for _, r := range items {
+			markEngine(r.sp, t)
 		}
 	} else {
-		err = b.eng.WriteBatch(ops)
+		err = c.srv.eng.WriteBatch(ops)
 	}
-	b.vol.batches.Add(1)
-	b.vol.batchedWrites.Add(int64(len(items)))
-	b.srv.met.batches.Inc()
-	b.srv.met.batchedWrites.Add(int64(len(items)))
-	b.srv.met.batchFill.Observe(int64(blocks))
-	for i := range items {
-		items[i].done(err)
+	// One group commit can carry several volumes' writes; each volume's
+	// batch counter advances once per commit it joined, deduped by
+	// stamping the commit sequence.
+	seq := c.srv.commitSeq.Add(1)
+	for _, r := range items {
+		if r.vol.batchMark.Swap(seq) != seq {
+			r.vol.batches.Add(1)
+		}
+		r.vol.batchedWrites.Add(1)
+	}
+	c.srv.met.batches.Inc()
+	c.srv.met.batchedWrites.Add(int64(n))
+	c.srv.met.batchFill.Observe(int64(blocks))
+	for _, r := range items {
+		r.done(err)
+	}
+	c.pendingBlocks.Add(-int64(blocks))
+	c.committed.Add(int64(n))
+}
+
+// flush is the FLUSH barrier: every write enqueued before the call is
+// committed when it returns. It kicks any gathering leader (so the
+// barrier never waits out a group-commit deadline) and then spins on
+// the committed counter; progress is guaranteed because a non-empty
+// list always has a leader and a counted-but-unpushed write's own
+// goroutine completes the push before parking.
+func (c *shardCommitter) flush() {
+	c.flushGen.Add(1)
+	target := c.enq.Load()
+	for c.committed.Load() < target {
+		runtime.Gosched()
 	}
 }

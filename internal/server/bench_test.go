@@ -43,7 +43,8 @@ func benchPolicy(b *testing.B, cfg lss.Config) lss.Policy {
 // loopback TCP: one iteration is one client write round-trip, spread
 // across the tenant fleet. The batch=on/off pair exposes the cost and
 // the padding benefit of chunk-aligned group commits at each tenant
-// count.
+// count. The engine shards across GOMAXPROCS cores, so running with
+// -cpu 1,2,4,8 measures the shard/group-commit scaling curve.
 func BenchmarkServerRoundtrip(b *testing.B) {
 	for _, tenants := range []int{1, 8, 64} {
 		for _, batch := range []bool{true, false} {
@@ -56,7 +57,14 @@ func BenchmarkServerRoundtrip(b *testing.B) {
 
 func benchRoundtrip(b *testing.B, tenants int, batch bool) {
 	cfg := benchStoreConfig()
-	eng, err := prototype.NewEngine(prototype.EngineConfig{Store: cfg, Policy: benchPolicy(b, cfg)})
+	// Shards follow the -cpu value under test (NewSharded defaults to
+	// runtime.GOMAXPROCS(0)).
+	eng, err := prototype.NewSharded(prototype.ShardedConfig{
+		Engine: prototype.EngineConfig{Store: cfg},
+		PolicyFactory: func(shard int, scfg lss.Config) (lss.Policy, error) {
+			return benchPolicy(b, scfg), nil
+		},
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

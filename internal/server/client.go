@@ -243,7 +243,7 @@ func (c *Client) Write(lba int64, payload []byte) error {
 	return c.write(lba, payload, 0)
 }
 
-// WriteSync writes bypassing the batcher (FlagNoBatch): it commits
+// WriteSync writes bypassing group commit (FlagNoBatch): it commits
 // individually, trading aggregation for the lowest commit latency.
 func (c *Client) WriteSync(lba int64, payload []byte) error {
 	return c.write(lba, payload, wire.FlagNoBatch)

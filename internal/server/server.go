@@ -4,10 +4,10 @@
 // internal/server/wire (READ/WRITE/TRIM/FLUSH/STAT with request IDs
 // for out-of-order completion). Per-tenant admission control bounds
 // inflight ops with typed backpressure instead of unbounded queuing,
-// and a per-volume write batcher coalesces small writes into
-// chunk-aligned group commits whose deadline mirrors the paper's
-// SLA-driven padding window. The package also provides the matching
-// Go client (Client) used by cmd/adaptload and the tests.
+// and per-shard lock-free leader/follower group commits coalesce
+// small writes into chunk-aligned batches whose deadline mirrors the
+// paper's SLA-driven padding window. The package also provides the
+// matching Go client (Client) used by cmd/adaptload and the tests.
 package server
 
 import (
@@ -27,17 +27,17 @@ import (
 
 // Config describes a block service instance.
 type Config struct {
-	// Engine is the shared storage engine all volumes land on. The
-	// server drives it but does not own it: callers Close it after
-	// Shutdown.
-	Engine *prototype.Engine
+	// Engine is the shared storage engine all volumes land on — a flat
+	// *prototype.Engine or a *prototype.Sharded router. The server
+	// drives it but does not own it: callers Close it after Shutdown.
+	Engine prototype.Ingest
 	// Volumes carves the engine's LBA space into this many equal tenant
 	// volumes (volume IDs 0..Volumes-1).
 	Volumes int
 	// MaxInflight bounds admitted inflight ops per volume; further
 	// requests are rejected with StatusBackpressure (default 64).
 	MaxInflight int
-	// Batch enables the per-volume write batcher.
+	// Batch enables per-shard group commit for WRITE requests.
 	Batch bool
 	// BatchTimeout is the group-commit deadline: the longest a batched
 	// write may wait for its chunk to fill — the serving-layer
@@ -78,9 +78,14 @@ type metrics struct {
 // Server is a multi-tenant block service over one storage engine.
 type Server struct {
 	cfg  Config
-	eng  *prototype.Engine
+	eng  prototype.Ingest
 	vols []*volume
-	met  metrics
+	// committers holds one lock-free group committer per engine shard;
+	// nil when batching is off. Writes route to the committer owning
+	// their shard, so group commits stay shard-local and fill that
+	// shard's open chunk.
+	committers []*shardCommitter
+	met        metrics
 	// trace is the request-tracing runtime; nil when disabled, making
 	// every tracing touchpoint on the request path a single nil check.
 	trace *traceState
@@ -89,16 +94,18 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	draining atomic.Bool
-	// drainCh closes when Shutdown starts; batchers switch to
-	// commit-immediately so parked writes ack without waiting out their
-	// group-commit deadline.
+	// drainCh closes when Shutdown starts.
 	drainCh chan struct{}
 
 	connWG sync.WaitGroup
-	batWG  sync.WaitGroup
+	// batWG counts live group-commit leaders.
+	batWG sync.WaitGroup
 
 	requests  atomic.Int64
 	responses atomic.Int64
+	// commitSeq numbers group commits across all committers for the
+	// per-volume batch-count dedupe.
+	commitSeq atomic.Int64
 }
 
 // New builds a server over the engine. Volume geometry is fixed for the
@@ -148,9 +155,9 @@ func New(cfg Config) (*Server, error) {
 		s.met.backpressure = ts.Registry.NewCounter(telemetry.MetricServerBackpressure,
 			"Requests rejected by per-tenant admission control")
 		s.met.batches = ts.Registry.NewCounter(telemetry.MetricServerBatches,
-			"Write-batcher group commits")
+			"Group commits")
 		s.met.batchedWrites = ts.Registry.NewCounter(telemetry.MetricServerBatchedWrites,
-			"WRITE requests committed through the batcher")
+			"WRITE requests committed through group commit")
 		s.met.bytesIn = ts.Registry.NewCounter(telemetry.MetricServerBytesIn,
 			"WRITE payload bytes received")
 		s.met.bytesOut = ts.Registry.NewCounter(telemetry.MetricServerBytesOut,
@@ -167,11 +174,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.vols = make([]*volume, cfg.Volumes)
 	for i := range s.vols {
-		v := newVolume(uint32(i), int64(i)*volBlocks, volBlocks, store.BlockSize, cfg.MaxInflight)
-		if cfg.Batch {
-			v.bat = newBatcher(s, v, cfg.BatchTimeout, cfg.BatchBlocks, cfg.MaxInflight)
+		s.vols[i] = newVolume(uint32(i), int64(i)*volBlocks, volBlocks, store.BlockSize, cfg.MaxInflight)
+	}
+	if cfg.Batch {
+		s.committers = make([]*shardCommitter, cfg.Engine.Shards())
+		for i := range s.committers {
+			s.committers[i] = newShardCommitter(s, i, cfg.BatchTimeout, cfg.BatchBlocks)
 		}
-		s.vols[i] = v
 	}
 	return s, nil
 }
@@ -230,12 +239,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
+		// Every conn reader waits for its pending responses, and a
+		// batched write responds only from its commit's done callback —
+		// so once the readers exit, every enqueued write has committed
+		// and no new leaders can spawn.
 		s.connWG.Wait()
-		for _, v := range s.vols {
-			if v.bat != nil {
-				close(v.bat.ch)
-			}
-		}
 		s.batWG.Wait()
 		close(done)
 	}()
@@ -458,8 +466,10 @@ func (s *Server) handleWrite(vol *volume, req wire.Request, sp *telemetry.Span, 
 	vol.writeBlocks.Add(int64(req.Count))
 	s.met.bytesIn.Add(int64(len(req.Payload)))
 	lba := int64(req.LBA)
-	if vol.bat != nil && req.Flags&wire.FlagNoBatch == 0 {
-		vol.bat.enqueue(batchItem{
+	if s.committers != nil && req.Flags&wire.FlagNoBatch == 0 {
+		c := s.committers[s.eng.ShardOf(vol.base+lba)]
+		c.enqueue(&commitReq{
+			vol:     vol,
 			lba:     lba,
 			blocks:  int(req.Count),
 			payload: req.Payload,
@@ -548,8 +558,13 @@ func (s *Server) handleTrim(vol *volume, req wire.Request, sp *telemetry.Span, f
 
 func (s *Server) handleFlush(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
 	vol.flushes.Add(1)
-	if vol.bat != nil {
-		vol.bat.flush()
+	if s.committers != nil {
+		// A volume's writes can land on any shard's committer (volume
+		// and shard boundaries are independent), so the barrier covers
+		// them all.
+		for _, c := range s.committers {
+			c.flush()
+		}
 		if sp != nil {
 			// FLUSH waits out the forced group commit; charge it to the
 			// batch stage.
@@ -606,7 +621,21 @@ func (s *Server) stats() []wire.Stat {
 		wire.Stat{Name: "srv_backpressure", Value: backpressure},
 		wire.Stat{Name: "srv_batches", Value: batches},
 		wire.Stat{Name: "srv_batched_writes", Value: batchedWrites},
+		wire.Stat{Name: "geom_shards", Value: int64(s.eng.Shards())},
 	)
+	if sstats := s.eng.ShardStats(); len(sstats) > 1 {
+		for i, st := range sstats {
+			p := fmt.Sprintf("shard%d_", i)
+			out = append(out,
+				wire.Stat{Name: p + "user_blocks", Value: st.UserBlocks},
+				wire.Stat{Name: p + "gc_blocks", Value: st.GCBlocks},
+				wire.Stat{Name: p + "gc_cycles", Value: st.GCCycles},
+				wire.Stat{Name: p + "free_segments", Value: int64(st.FreeSegments)},
+				wire.Stat{Name: p + "gc_gate_waits", Value: st.GCGateWaits},
+				wire.Stat{Name: p + "gc_gate_wait_ns", Value: st.GCGateWaitNS},
+			)
+		}
+	}
 	for _, v := range s.vols {
 		p := fmt.Sprintf("vol%d_", v.id)
 		out = append(out,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -236,6 +237,39 @@ func TestServerShutdownAcksPending(t *testing.T) {
 	}
 }
 
+// testShardedEngine builds a sharded verification engine over the same
+// tiny geometry testEngine uses.
+func testShardedEngine(t *testing.T, userBlocks int64, shards int, verify, mirror bool) *prototype.Sharded {
+	t.Helper()
+	cfg := lss.Config{
+		BlockSize:     testBlockBytes,
+		ChunkBlocks:   8,
+		SegmentChunks: 4,
+		UserBlocks:    userBlocks,
+		OverProvision: 0.25,
+	}
+	e, err := prototype.NewSharded(prototype.ShardedConfig{
+		Engine: prototype.EngineConfig{
+			Store:        cfg,
+			ServiceTime:  time.Microsecond,
+			Verify:       verify,
+			VerifyMirror: mirror,
+		},
+		Shards: shards,
+		PolicyFactory: func(shard int, scfg lss.Config) (lss.Policy, error) {
+			return placement.New(placement.NameSepGC, placement.Params{
+				UserBlocks:    scfg.UserBlocks,
+				SegmentBlocks: scfg.SegmentBlocks(),
+				ChunkBlocks:   scfg.ChunkBlocks,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 // TestServerE2EFaultRebuild is the end-to-end satellite: four tenants
 // hammer a loopback server concurrently while a fault.Fixed schedule
 // fails an array column mid-test and an online rebuild runs to
@@ -244,7 +278,18 @@ func TestServerShutdownAcksPending(t *testing.T) {
 // per-worker expectations, and engine Close replays the checker
 // oracle's full cross-check plus RAID parity and byte read-back.
 func TestServerE2EFaultRebuild(t *testing.T) {
-	eng := testEngine(t, 8192, true, true)
+	runE2EFaultRebuild(t, testEngine(t, 8192, true, true))
+}
+
+// TestServerE2EShardedFaultRebuild runs the same mid-traffic fault and
+// online rebuild against a 4-shard engine: the column failure must
+// degrade every shard, the rebuild must bring them all back, and the
+// per-shard oracles replay their full cross-checks at Close.
+func TestServerE2EShardedFaultRebuild(t *testing.T) {
+	runE2EFaultRebuild(t, testShardedEngine(t, 8192, 4, true, true))
+}
+
+func runE2EFaultRebuild(t *testing.T, eng prototype.Ingest) {
 	srv, err := New(Config{
 		Engine: eng, Volumes: 4, MaxInflight: 32,
 		Batch: true, BatchTimeout: 500 * time.Microsecond,
@@ -411,6 +456,19 @@ func TestServerE2EFaultRebuild(t *testing.T) {
 	}
 	if stats["srv_batches"] == 0 || stats["srv_batched_writes"] == 0 {
 		t.Fatalf("batching never engaged: %v", stats)
+	}
+	if n := eng.Shards(); n > 1 {
+		if stats["geom_shards"] != int64(n) {
+			t.Fatalf("geom_shards = %d, want %d", stats["geom_shards"], n)
+		}
+		var shardUser int64
+		for i := 0; i < n; i++ {
+			shardUser += stats[fmt.Sprintf("shard%d_user_blocks", i)]
+		}
+		if shardUser != stats["store_user_blocks"] {
+			t.Fatalf("per-shard user blocks sum %d != aggregate %d",
+				shardUser, stats["store_user_blocks"])
+		}
 	}
 
 	stop()

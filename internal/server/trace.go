@@ -166,6 +166,11 @@ type Exemplar struct {
 	CauseID int64
 	// Column is the interfering RAID column, -1 when not column-specific.
 	Column int32
+	// Shard is the engine shard the blame lands on: the interfering
+	// interval's publishing shard, or the shard owning the request's
+	// LBA when the cause is not an interference window. -1 when the
+	// engine is unsharded.
+	Shard int32
 	// OverlapNS is how much of the span overlapped the blamed
 	// interference interval.
 	OverlapNS int64
@@ -174,9 +179,9 @@ type Exemplar struct {
 // attribute tags a span with its dominant latency cause. Interference
 // overlap (GC first, then degraded/rebuild windows) takes precedence;
 // otherwise the slowest stage is blamed.
-func attribute(sp *telemetry.Span, ivs []telemetry.Interval) (cause string, id int64, col int32, overlapNS int64) {
+func attribute(sp *telemetry.Span, ivs []telemetry.Interval) (cause string, id int64, col, shard int32, overlapNS int64) {
 	if wire.Status(sp.Status) == wire.StatusBackpressure {
-		return "backpressure", 0, -1, 0
+		return "backpressure", 0, -1, -1, 0
 	}
 	a, b := sp.Start, sp.End()
 	var gcBest, otherBest telemetry.Interval
@@ -195,10 +200,10 @@ func attribute(sp *telemetry.Span, ivs []telemetry.Interval) (cause string, id i
 		}
 	}
 	if gcOv > 0 {
-		return "gc", gcBest.ID, gcBest.Column, gcOv
+		return "gc", gcBest.ID, gcBest.Column, gcBest.Shard, gcOv
 	}
 	if otherOv > 0 {
-		return otherBest.Kind.String(), otherBest.ID, otherBest.Column, otherOv
+		return otherBest.Kind.String(), otherBest.ID, otherBest.Column, otherBest.Shard, otherOv
 	}
 	durs := sp.StageDurs()
 	worst := telemetry.StageDecode
@@ -209,15 +214,15 @@ func attribute(sp *telemetry.Span, ivs []telemetry.Interval) (cause string, id i
 	}
 	switch worst {
 	case telemetry.StageBatch:
-		return "batch-deadline", 0, -1, 0
+		return "batch-deadline", 0, -1, -1, 0
 	case telemetry.StageAdmission:
-		return "admission", 0, -1, 0
+		return "admission", 0, -1, -1, 0
 	case telemetry.StageLockWait:
-		return "engine-lock", 0, -1, 0
+		return "engine-lock", 0, -1, -1, 0
 	case telemetry.StageDecode, telemetry.StageRespond:
-		return "wire", 0, -1, 0
+		return "wire", 0, -1, -1, 0
 	default:
-		return "engine", 0, -1, 0
+		return "engine", 0, -1, -1, 0
 	}
 }
 
@@ -251,10 +256,16 @@ func (s *Server) TraceSnapshot(minNS int64, k int) []Exemplar {
 		kept = kept[:k]
 	}
 	ivs := tr.itv.Snapshot()
+	sharded := s.eng.Shards() > 1
 	out := make([]Exemplar, len(kept))
 	for i, sp := range kept {
 		ex := Exemplar{Span: sp}
-		ex.Cause, ex.CauseID, ex.Column, ex.OverlapNS = attribute(sp, ivs)
+		ex.Cause, ex.CauseID, ex.Column, ex.Shard, ex.OverlapNS = attribute(sp, ivs)
+		if ex.Shard < 0 && sharded && int(sp.Volume) < len(s.vols) {
+			// No interference window to blame: attribute the request to
+			// the shard that served its LBA.
+			ex.Shard = int32(s.eng.ShardOf(s.vols[sp.Volume].base + int64(sp.LBA)))
+		}
 		out[i] = ex
 	}
 	return out
@@ -301,8 +312,8 @@ func (s *Server) TraceHandler() http.Handler {
 			for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
 				fmt.Fprintf(w, `,"%s_ns":%d`, st, durs[st])
 			}
-			fmt.Fprintf(w, `,"cause":%q,"cause_id":%d,"column":%d,"overlap_ns":%d}`+"\n",
-				ex.Cause, ex.CauseID, ex.Column, ex.OverlapNS)
+			fmt.Fprintf(w, `,"cause":%q,"cause_id":%d,"column":%d,"shard":%d,"overlap_ns":%d}`+"\n",
+				ex.Cause, ex.CauseID, ex.Column, ex.Shard, ex.OverlapNS)
 		}
 	})
 }

@@ -191,21 +191,21 @@ func TestAttribute(t *testing.T) {
 	// Backpressure beats everything.
 	bp := span(100, 200, nil)
 	bp.Status = uint8(wire.StatusBackpressure)
-	if cause, _, _, _ := attribute(bp, ivs); cause != "backpressure" {
+	if cause, _, _, _, _ := attribute(bp, ivs); cause != "backpressure" {
 		t.Errorf("backpressure cause = %q", cause)
 	}
 
 	// GC overlap wins over a degraded window even when the degraded
 	// overlap is larger.
 	both := span(150, 400, nil)
-	cause, id, _, ov := attribute(both, ivs)
+	cause, id, _, _, ov := attribute(both, ivs)
 	if cause != "gc" || id != 42 || ov != 50 {
 		t.Errorf("gc-overlap: cause=%q id=%d ov=%d, want gc/42/50", cause, id, ov)
 	}
 
 	// Degraded-only overlap reports the interval's kind and column.
 	donly := span(350, 450, nil)
-	cause, id, col, _ := attribute(donly, ivs)
+	cause, id, col, _, _ := attribute(donly, ivs)
 	if cause != "degraded" || id != 7 || col != 2 {
 		t.Errorf("degraded: cause=%q id=%d col=%d", cause, id, col)
 	}
@@ -223,7 +223,7 @@ func TestAttribute(t *testing.T) {
 	}
 	for _, cse := range cases {
 		sp := span(1000, 1110, map[telemetry.Stage]int64{cse.stage: 1100})
-		if cause, _, _, _ := attribute(sp, nil); cause != cse.want {
+		if cause, _, _, _, _ := attribute(sp, nil); cause != cse.want {
 			t.Errorf("dominant %v: cause = %q, want %q", cse.stage, cause, cse.want)
 		}
 	}

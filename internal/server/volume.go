@@ -19,9 +19,6 @@ type volume struct {
 	// StatusBackpressure instead of queuing without bound.
 	sem chan struct{}
 
-	// bat is the volume's write batcher; nil when batching is off.
-	bat *batcher
-
 	dataMu sync.RWMutex
 	data   []byte
 
@@ -31,6 +28,10 @@ type volume struct {
 	trimBlocks                    atomic.Int64
 	rejected                      atomic.Int64
 	batches, batchedWrites        atomic.Int64
+	// batchMark holds the last group-commit sequence that counted this
+	// volume in batches, so a commit carrying several of the volume's
+	// writes increments the counter once.
+	batchMark atomic.Int64
 }
 
 func newVolume(id uint32, base, blocks int64, blockBytes, maxInflight int) *volume {

@@ -40,6 +40,7 @@ type Interval struct {
 	Kind   IntervalKind
 	ID     int64 // GC cycle number, or failure generation
 	Column int32 // RAID column, -1 when not column-specific
+	Shard  int32 // engine shard that published the window, -1 unsharded
 	Start  sim.Time
 	End    sim.Time
 }
@@ -106,7 +107,7 @@ func (l *IntervalLog) push(iv Interval) {
 
 // Open starts an open-ended interval and returns a token for Close.
 // Nil-safe; returns 0 on a nil log (Close ignores token 0 gracefully).
-func (l *IntervalLog) Open(kind IntervalKind, id int64, column int32, start sim.Time) int64 {
+func (l *IntervalLog) Open(kind IntervalKind, id int64, column, shard int32, start sim.Time) int64 {
 	if l == nil {
 		return 0
 	}
@@ -114,7 +115,7 @@ func (l *IntervalLog) Open(kind IntervalKind, id int64, column int32, start sim.
 	defer l.mu.Unlock()
 	l.nextTok++
 	tok := l.nextTok
-	l.open[tok] = Interval{Kind: kind, ID: id, Column: column, Start: start}
+	l.open[tok] = Interval{Kind: kind, ID: id, Column: column, Shard: shard, Start: start}
 	return tok
 }
 

@@ -190,14 +190,14 @@ func TestIntervalOverlap(t *testing.T) {
 func TestIntervalLog(t *testing.T) {
 	var nilLog *IntervalLog
 	nilLog.Add(Interval{})
-	nilLog.Close(nilLog.Open(IntervalGC, 1, -1, 0), 10)
+	nilLog.Close(nilLog.Open(IntervalGC, 1, -1, -1, 0), 10)
 	if nilLog.Snapshot() != nil || nilLog.Total() != 0 {
 		t.Error("nil IntervalLog not inert")
 	}
 
 	l := NewIntervalLog(3)
 	l.Add(Interval{Kind: IntervalGC, ID: 1, Start: 10, End: 20})
-	tok := l.Open(IntervalDegraded, 7, 2, 30)
+	tok := l.Open(IntervalDegraded, 7, 2, -1, 30)
 	snap := l.Snapshot()
 	if len(snap) != 2 {
 		t.Fatalf("snapshot len = %d, want 2 (1 closed + 1 open)", len(snap))
