@@ -16,13 +16,14 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzParseTencent \
 	./internal/server/wire:FuzzWireDecode
 
-.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot serve-smoke trace-smoke scale-smoke
+.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot gcsched-smoke serve-smoke trace-smoke scale-smoke
 
 ## check: full local gate — vet, build, race-enabled test suite, the
 ## sharded-engine suite pinned to GOMAXPROCS=4, a short fuzz smoke of
-## every target on top of the checked-in corpora, and end-to-end boots
-## of the network service (plain and traced).
-check: vet build race race-sharded fuzz serve-smoke trace-smoke
+## every target on top of the checked-in corpora, the background-GC
+## tail gate, and end-to-end boots of the network service (plain and
+## traced).
+check: vet build race race-sharded fuzz gcsched-smoke serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -83,6 +84,20 @@ bench-snapshot:
 	  $(GO) test -json -run '^$$' -bench BenchmarkTraceHotPath -benchmem -benchtime 1000000x -count 3 ./internal/server ; } \
 	  > BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+## gcsched-smoke: the tail-latency-aware GC gate. On the deterministic
+## virtual-clock model (real stores, real pacer), background-paced GC
+## must cut the client p999 by >=30% against the synchronous watermark
+## baseline with write amplification within 2%, for every placement
+## policy. Also lints the store-configuration API: lss.Store grows no
+## new Set* setters — runtime changes go through Deps and Reconfigure.
+gcsched-smoke:
+	$(GO) test -run TestGCSchedModelAcceptance ./internal/harness
+	@if grep -nE '^func \(s \*Store\) Set[A-Z]' internal/lss/*.go; then \
+		echo "gcsched-smoke FAIL: lss.Store setters are banned — route runtime changes through Deps/Reconfigure"; \
+		exit 1; \
+	fi
+	@echo "gcsched-smoke OK"
 
 ## serve-smoke: boot the network service end-to-end — adaptserve on a
 ## loopback port, a short adaptload burst, a telemetry scrape, and a

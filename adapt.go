@@ -100,6 +100,39 @@ type SimulatorConfig struct {
 	Paranoid bool
 	// ADAPT tunes the ADAPT policy (ignored for baselines).
 	ADAPT ADAPTOptions
+	// GCSched selects the garbage-collection scheduling mode; the zero
+	// value keeps the classic synchronous watermark GC.
+	GCSched GCSchedConfig
+}
+
+// GCSchedConfig is the typed GC-scheduling configuration shared by the
+// simulator and the prototype. With Background set, watermark pressure
+// no longer triggers a stop-the-world GC cycle inline with a write:
+// the cycle becomes a resumable state machine driven in bounded slices
+// — per-operation in the deterministic simulator, by the gcsched pacer
+// in the served prototype — with a synchronous emergency fallback when
+// the free pool hits the hard floor. Invalid values surface as errors
+// from the constructor, never panics.
+type GCSchedConfig struct {
+	// Background enables paced background GC.
+	Background bool
+	// EmergencyFloor is the free-segment hard floor at which an
+	// allocation gives up on the pacer and collects synchronously
+	// (default: 2 below the low watermark, at least 1). Must stay below
+	// the low watermark, which defaults to groups+2.
+	EmergencyFloor int
+	// SliceUnits is the relocation budget per GC slice (default 32).
+	// One unit is roughly one victim chunk scanned or one block
+	// relocated.
+	SliceUnits int
+}
+
+// sliceUnits returns the defaulted per-slice budget.
+func (g GCSchedConfig) sliceUnits() int {
+	if g.SliceUnits == 0 {
+		return 32
+	}
+	return g.SliceUnits
 }
 
 // build validates the configuration and constructs the store geometry
@@ -200,6 +233,23 @@ func (c SimulatorConfig) build() (lss.Config, lss.Policy, error) {
 			return fail(err)
 		}
 	}
+	if c.GCSched.SliceUnits < 0 {
+		return fail(fmt.Errorf("adapt: negative GCSched.SliceUnits %d", c.GCSched.SliceUnits))
+	}
+	if c.GCSched.Background {
+		cfg.BackgroundGC = true
+		cfg.GCEmergencyFloor = c.GCSched.EmergencyFloor
+		// The public config never sets GCLowWater, so the store's derived
+		// low watermark is groups+2; validate here so a bad floor surfaces
+		// as an error instead of the store's internal panic.
+		if low := pol.Groups() + 2; c.GCSched.EmergencyFloor != 0 &&
+			(c.GCSched.EmergencyFloor < 1 || c.GCSched.EmergencyFloor >= low) {
+			return fail(fmt.Errorf("adapt: GCSched.EmergencyFloor %d must be in [1, %d) (low watermark is groups+2 = %d)",
+				c.GCSched.EmergencyFloor, low, low))
+		}
+	} else if c.GCSched.EmergencyFloor != 0 || c.GCSched.SliceUnits != 0 {
+		return fail(fmt.Errorf("adapt: GCSched.EmergencyFloor/SliceUnits set without GCSched.Background"))
+	}
 	return cfg, pol, nil
 }
 
@@ -255,6 +305,7 @@ type Simulator struct {
 	policy    lss.Policy
 	oracle    *checker.Oracle // non-nil iff Paranoid
 	verifyErr error           // first deferred audit failure (Drain)
+	gcStep    int             // per-op GC slice budget; 0 = synchronous GC
 }
 
 // NewSimulator builds a simulator for the given configuration.
@@ -264,6 +315,9 @@ func NewSimulator(c SimulatorConfig) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{store: lss.New(cfg, pol), policy: pol}
+	if c.GCSched.Background {
+		s.gcStep = c.GCSched.sliceUnits()
+	}
 	if c.Paranoid {
 		s.oracle, err = checker.New(s.store, checker.Options{Mirror: true})
 		if err != nil {
@@ -301,45 +355,75 @@ func (s *Simulator) EnableTelemetry(tc TelemetryConfig) *telemetry.Set {
 		MaxWindows:     tc.MaxWindows,
 		EventCapacity:  tc.EventCapacity,
 	})
-	s.store.SetTelemetry(ts)
+	s.store.Reconfigure(func(r *lss.Runtime) { r.Telemetry = ts })
 	if p, ok := s.policy.(*adaptcore.Policy); ok {
 		p.SetTelemetry(ts)
 	}
 	return ts
 }
 
+// stepGC drives one bounded background-GC slice when the simulator
+// runs in GCSched.Background mode. The simulator has no wall clock, so
+// "background" means per-operation pacing: every user op donates one
+// slice of budget, which spreads a cycle's relocations across the
+// operations that made it necessary instead of charging one victim
+// write with the whole cycle.
+func (s *Simulator) stepGC() {
+	if s.gcStep > 0 {
+		s.store.GCStep(s.gcStep)
+	}
+}
+
 // Write appends user-written blocks starting at lba at the given
 // trace time. Under Paranoid, a reference-model divergence surfaces
 // here as an error wrapping ErrMismatch.
 func (s *Simulator) Write(lba int64, blocks int, at time.Duration) error {
+	var err error
 	if s.oracle != nil {
-		return s.oracle.Write(lba, blocks, sim.Time(at))
+		err = s.oracle.Write(lba, blocks, sim.Time(at))
+	} else {
+		err = s.store.Write(lba, blocks, sim.Time(at))
 	}
-	return s.store.Write(lba, blocks, sim.Time(at))
+	if err == nil {
+		s.stepGC()
+	}
+	return err
 }
 
 // Read records a user read (workload accounting only).
 func (s *Simulator) Read(lba int64, blocks int, at time.Duration) {
 	if s.oracle != nil {
 		s.oracle.Read(lba, blocks, sim.Time(at))
-		return
+	} else {
+		s.store.Read(lba, blocks, sim.Time(at))
 	}
-	s.store.Read(lba, blocks, sim.Time(at))
+	s.stepGC()
 }
 
 // Trim discards blocks (TRIM/UNMAP): their live versions become
 // garbage immediately, reclaimable without GC migration.
 func (s *Simulator) Trim(lba int64, blocks int, at time.Duration) error {
+	var err error
 	if s.oracle != nil {
-		return s.oracle.Trim(lba, blocks, sim.Time(at))
+		err = s.oracle.Trim(lba, blocks, sim.Time(at))
+	} else {
+		err = s.store.Trim(lba, blocks, sim.Time(at))
 	}
-	return s.store.Trim(lba, blocks, sim.Time(at))
+	if err == nil {
+		s.stepGC()
+	}
+	return err
 }
 
 // Drain flushes all buffered chunks, padding remainders; call it when
 // a replay finishes (Replay does this automatically). Under Paranoid
 // the post-drain audit failure, if any, is held for Verify.
 func (s *Simulator) Drain() {
+	// Finish any in-flight background cycle first so the drain (and the
+	// Paranoid sweep behind it) sees settled GC accounting.
+	for s.gcStep > 0 && s.store.GCActive() {
+		s.store.GCStep(1 << 30)
+	}
 	if s.oracle != nil {
 		if err := s.oracle.Drain(s.store.Now() + sim.Second); err != nil && s.verifyErr == nil {
 			s.verifyErr = err

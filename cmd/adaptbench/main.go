@@ -31,7 +31,7 @@ func main() {
 		"adaptbench -exp telemetry -series series.jsonl -events events.jsonl",
 		"adaptbench -replay series.jsonl")
 	fs := cmd.Flags()
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|tailtrace|shardscale|telemetry|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig8|fig9|fig10|fig11|fig12|streams|chunk|sla|victims|latency|fault|tailtrace|gcsched|shardscale|telemetry|all")
 	scaleName := fs.String("scale", "small", "experiment scale: small|full")
 	policy := fs.String("policy", harness.PolicyADAPT, "placement policy for -exp telemetry")
 	series := fs.String("series", "", "write telemetry time-series windows (JSONL) to this file")
@@ -164,6 +164,15 @@ func main() {
 	if want("tailtrace") {
 		ran = true
 		res, err := harness.ExpTailTrace(sc, harness.PolicyNames(), harness.DefaultTailTraceOptions(sc))
+		cmd.Check(err)
+		fmt.Println(res.Render())
+	}
+	if *exp == "gcsched" {
+		// Wall-clock tail latencies under live pacing: explicit-only so
+		// "all" stays deterministic.
+		ran = true
+		res, err := harness.ExpGCSched(sc, []string{"sepgc", "sepbit", harness.PolicyADAPT},
+			harness.DefaultGCSchedOptions(sc))
 		cmd.Check(err)
 		fmt.Println(res.Render())
 	}

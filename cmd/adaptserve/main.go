@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"adapt/internal/cli"
+	"adapt/internal/gcsched"
 	"adapt/internal/harness"
 	"adapt/internal/lss"
 	"adapt/internal/prototype"
@@ -46,6 +47,10 @@ func main() {
 	serviceUS := fs.Int("service-us", 50, "modelled device time per chunk write in microseconds")
 	trace := fs.Bool("trace", true, "per-request tracing with tail-latency attribution (/debug/trace)")
 	traceThreshUS := fs.Int("trace-threshold-us", 500, "latency above which a span becomes an exemplar")
+	gcBG := fs.Bool("gc-bg", false, "background paced GC instead of synchronous watermark cycles")
+	gcSliceUnits := fs.Int("gc-slice-units", 0, "pacer relocation budget per tick at urgency 1 (0: gcsched default)")
+	gcIntervalUS := fs.Int("gc-interval-us", 0, "pacer tick interval in microseconds (0: gcsched default)")
+	gcTargetUS := fs.Int("gc-target-p999-us", 2000, "back off non-urgent GC while traced p999 exceeds this (0 or -trace=false disables)")
 	cmd.Parse(os.Args[1:])
 
 	if fs.NArg() != 0 {
@@ -66,6 +71,7 @@ func main() {
 		cmd.UsageErrorf("unknown victim policy %q", *victim)
 	}
 	cfg := harness.StoreConfig(*userBlocks, vp)
+	cfg.BackgroundGC = *gcBG
 	if _, err := harness.BuildPolicy(*policy, cfg); err != nil {
 		cmd.UsageErrorf("%v", err)
 	}
@@ -83,7 +89,30 @@ func main() {
 		},
 	})
 	cmd.Check(err)
-	srv, err := server.New(server.Config{
+	var srv *server.Server
+	var ctl *gcsched.Controller
+	if *gcBG {
+		gcfg := gcsched.Config{
+			Interval:   time.Duration(*gcIntervalUS) * time.Microsecond,
+			SliceUnits: *gcSliceUnits,
+			QueueFill:  eng.QueueFill,
+			Telemetry:  ts,
+		}
+		if *trace && *gcTargetUS > 0 {
+			gcfg.TargetP999 = time.Duration(*gcTargetUS) * time.Microsecond
+			// srv is assigned below, before ctl.Start spawns the only
+			// reader of this closure.
+			gcfg.P999 = func() time.Duration { return srv.TailP999() }
+		}
+		shards := eng.GCShards()
+		sh := make([]gcsched.Shard, len(shards))
+		for i, s := range shards {
+			sh[i] = s
+		}
+		ctl, err = gcsched.New(gcfg, sh)
+		cmd.Check(err)
+	}
+	srv, err = server.New(server.Config{
 		Engine:       eng,
 		Volumes:      *volumes,
 		MaxInflight:  *maxInflight,
@@ -94,8 +123,12 @@ func main() {
 			Enabled:   *trace,
 			Threshold: time.Duration(*traceThreshUS) * time.Microsecond,
 		},
+		GCSched: ctl,
 	})
 	cmd.Check(err)
+	if ctl != nil {
+		ctl.Start()
+	}
 
 	if *telAddr != "" {
 		var extra map[string]http.Handler
@@ -109,8 +142,12 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	cmd.Check(err)
-	fmt.Printf("serving %d volumes × %d blocks (%s policy, %d shards, batch=%v) on %s\n",
-		srv.Volumes(), srv.VolumeBlocks(), *policy, eng.Shards(), *batch, ln.Addr())
+	gcMode := "sync"
+	if *gcBG {
+		gcMode = "background"
+	}
+	fmt.Printf("serving %d volumes × %d blocks (%s policy, %d shards, batch=%v, gc=%s) on %s\n",
+		srv.Volumes(), srv.VolumeBlocks(), *policy, eng.Shards(), *batch, gcMode, ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -125,6 +162,9 @@ func main() {
 	}()
 
 	cmd.Check(srv.Serve(ln))
+	if ctl != nil {
+		ctl.Stop()
+	}
 	cmd.Check(eng.Close())
 	st := eng.Stats()
 	fmt.Printf("final: %d user blocks, WA %.3f, effective WA %.3f, %d padded chunks of %d flushed\n",

@@ -75,16 +75,18 @@ func (d *Device) Metrics() DeviceMetrics {
 func (s *Simulator) AttachDevice(d *Device, mapGroupsToStreams bool) {
 	cfg := s.store.Config()
 	segPages := int64(cfg.SegmentBlocks())
-	s.store.SetChunkSink(func(w lss.ChunkWrite) {
-		stream := 0
-		if mapGroupsToStreams {
-			stream = int(w.Group)
-		}
-		base := int64(w.Segment)*segPages + int64(w.Chunk)*int64(cfg.ChunkBlocks)
-		for p := int64(0); p < int64(cfg.ChunkBlocks); p++ {
-			// The address range is bounded by construction; Write only
-			// fails for out-of-range pages.
-			_ = d.dev.Write(base+p, stream)
+	s.store.Reconfigure(func(r *lss.Runtime) {
+		r.Sink = func(w lss.ChunkWrite) {
+			stream := 0
+			if mapGroupsToStreams {
+				stream = int(w.Group)
+			}
+			base := int64(w.Segment)*segPages + int64(w.Chunk)*int64(cfg.ChunkBlocks)
+			for p := int64(0); p < int64(cfg.ChunkBlocks); p++ {
+				// The address range is bounded by construction; Write only
+				// fails for out-of-range pages.
+				_ = d.dev.Write(base+p, stream)
+			}
 		}
 	})
 }

@@ -104,7 +104,7 @@ func New(store *lss.Store, opts Options) (*Oracle, error) {
 			return nil, err
 		}
 		o.mirror = m
-		store.SetAuditSink(m.observe(store))
+		store.Reconfigure(func(r *lss.Runtime) { r.AuditSink = m.observe(store) })
 	}
 	return o, nil
 }
@@ -270,7 +270,7 @@ func (o *Oracle) FailColumn(col int) error {
 	if err := o.mirror.data.FailColumn(col); err != nil {
 		return err
 	}
-	o.store.SetDegraded(true)
+	o.store.Reconfigure(func(r *lss.Runtime) { r.Degraded = true })
 	return nil
 }
 
@@ -282,7 +282,7 @@ func (o *Oracle) RebuildStep(maxChunks int) (rebuilt int, done bool, err error) 
 	}
 	rebuilt, done, err = o.mirror.data.RebuildStep(maxChunks)
 	if err == nil && done {
-		o.store.SetDegraded(false)
+		o.store.Reconfigure(func(r *lss.Runtime) { r.Degraded = false })
 	}
 	return rebuilt, done, err
 }

@@ -218,6 +218,58 @@ func TestExpectedRecoverySweep(t *testing.T) {
 	}
 }
 
+// TestCrashDuringBackgroundGCSweep checkpoints at every preemption
+// point of paused background-GC cycles — after each single-chunk
+// GCStep while a cycle is in flight — and requires recovery to roll
+// forward to exactly the independently predicted mapping. A crash
+// mid-relocation must behave like a crash anywhere else: durable
+// chunks win by version, the in-flight cycle simply evaporates.
+func TestCrashDuringBackgroundGCSweep(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BackgroundGC = true
+	pol, err := placement.New(placement.NameSepGC, params(cfg))
+	if err != nil {
+		t.Fatalf("placement.New: %v", err)
+	}
+	s := lss.New(cfg, pol)
+	rng := sim.NewRNG(17)
+	now := sim.Time(0)
+	checked := 0
+	for op := 0; op < 40000 && checked < 60; op++ {
+		now += 10 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if !s.GCNeeded() {
+			continue
+		}
+		s.GCStep(1) // smallest slice: pause at the next chunk boundary
+		if !s.GCActive() || op%7 != 0 {
+			continue // sample the yield points, sweep stays fast
+		}
+		checked++
+		want := checker.ExpectedRecovery(s)
+		var buf bytes.Buffer
+		if err := s.WriteCheckpoint(&buf); err != nil {
+			t.Fatalf("op %d: checkpoint: %v", op, err)
+		}
+		pol2, _ := placement.New(placement.NameSepGC, params(cfg))
+		rec, err := lss.Recover(&buf, cfg, pol2)
+		if err != nil {
+			t.Fatalf("op %d: recover: %v", op, err)
+		}
+		if err := checker.CompareRecovered(rec, want); err != nil {
+			t.Fatalf("op %d (mid-GC): %v", op, err)
+		}
+		if err := rec.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: recovered invariants: %v", op, err)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d mid-GC crash points exercised; workload too small", checked)
+	}
+}
+
 func TestOracleRejectsUsedStore(t *testing.T) {
 	cfg := smallCfg()
 	pol, _ := placement.New(placement.NameSepGC, params(cfg))

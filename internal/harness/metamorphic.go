@@ -245,17 +245,18 @@ func VictimSequence(policy string, cfg lss.Config, tr *trace.Trace, degradeFrom,
 	if err != nil {
 		return nil, fmt.Errorf("victim sequence %s: %w", policy, err)
 	}
-	s := lss.New(cfg, pol)
 	var seq []int
-	s.SetReclaimObserver(func(id int) { seq = append(seq, id) })
+	s := lss.New(cfg, pol, lss.Deps{
+		ReclaimObserver: func(id int) { seq = append(seq, id) },
+	})
 	bs := int64(cfg.BlockSize)
 	for i := range tr.Records {
 		if degradeTo > degradeFrom {
 			if i == degradeFrom {
-				s.SetDegraded(true)
+				s.Reconfigure(func(r *lss.Runtime) { r.Degraded = true })
 			}
 			if i == degradeTo {
-				s.SetDegraded(false)
+				s.Reconfigure(func(r *lss.Runtime) { r.Degraded = false })
 			}
 		}
 		r := &tr.Records[i]

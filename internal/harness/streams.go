@@ -49,11 +49,13 @@ func ExpStreams(sc Scale, policies []string) ([]StreamsRow, error) {
 				Streams:       streams,
 			})
 			var sinkErr error
-			store.SetChunkSink(func(w lss.ChunkWrite) {
-				base := int64(w.Segment)*segPages + int64(w.Chunk)*int64(cfg.ChunkBlocks)
-				for p := int64(0); p < int64(cfg.ChunkBlocks); p++ {
-					if err := dev.Write(base+p, int(w.Group)); err != nil && sinkErr == nil {
-						sinkErr = err
+			store.Reconfigure(func(r *lss.Runtime) {
+				r.Sink = func(w lss.ChunkWrite) {
+					base := int64(w.Segment)*segPages + int64(w.Chunk)*int64(cfg.ChunkBlocks)
+					for p := int64(0); p < int64(cfg.ChunkBlocks); p++ {
+						if err := dev.Write(base+p, int(w.Group)); err != nil && sinkErr == nil {
+							sinkErr = err
+						}
 					}
 				}
 			})

@@ -31,9 +31,8 @@ func TelemetryRun(sc Scale, policy string, opts telemetry.Options) (*telemetry.S
 	if err != nil {
 		return nil, RunResult{}, err
 	}
-	store := lss.New(cfg, pol)
 	ts := telemetry.New(opts)
-	store.SetTelemetry(ts)
+	store := lss.New(cfg, pol, lss.Deps{Telemetry: ts})
 	if p, ok := pol.(interface {
 		SetTelemetry(*telemetry.Set)
 	}); ok {

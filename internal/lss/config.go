@@ -82,6 +82,18 @@ type Config struct {
 	// GCHighWater is where a GC cycle stops. Zero means derived
 	// defaults.
 	GCLowWater, GCHighWater int
+	// BackgroundGC defers watermark-triggered GC to an external pacer:
+	// allocation no longer runs a full synchronous cycle at the low
+	// watermark; instead the owner polls GCNeeded and drives bounded
+	// slices through GCStep. Allocation still runs the cycle inline —
+	// synchronously, to completion — if the free pool falls to
+	// GCEmergencyFloor, so correctness never depends on the pacer
+	// keeping up.
+	BackgroundGC bool
+	// GCEmergencyFloor is the free-segment hard floor for BackgroundGC
+	// mode. Zero means max(1, GCLowWater-2); it must stay below
+	// GCLowWater so the pacer has room to act first.
+	GCEmergencyFloor int
 	// LegacyVictimScan selects the reference scan-and-sort victim
 	// selector instead of the incremental victim index. The two produce
 	// identical victim sequences for the deterministic policies; the
@@ -140,7 +152,31 @@ func (cfg Config) withDefaults(groups int) Config {
 		cfg.GCLowWater = groups + 2
 	}
 	if cfg.GCHighWater <= cfg.GCLowWater {
-		cfg.GCHighWater = cfg.GCLowWater + 4
+		cushion := 4
+		if cfg.BackgroundGC {
+			// The watermark cushion is the write burst the pacer can
+			// absorb as paced work: below the high watermark it starts
+			// trickling, and only after the whole cushion is consumed
+			// does an emergency cycle stall a writer. A background store
+			// therefore provisions a deeper default cushion than the
+			// synchronous trigger needs; the reserve is added on top of
+			// the user capacity (totalSegments), not carved out of the
+			// over-provisioning spare, so WA stays comparable across
+			// modes.
+			cushion = 12
+		}
+		cfg.GCHighWater = cfg.GCLowWater + cushion
+	}
+	if cfg.BackgroundGC {
+		if cfg.GCEmergencyFloor == 0 {
+			cfg.GCEmergencyFloor = cfg.GCLowWater - 2
+			if cfg.GCEmergencyFloor < 1 {
+				cfg.GCEmergencyFloor = 1
+			}
+		}
+		if cfg.GCEmergencyFloor < 1 || cfg.GCEmergencyFloor >= cfg.GCLowWater {
+			panic("lss: GCEmergencyFloor must be in [1, GCLowWater)")
+		}
 	}
 	if cfg.BlockSize <= 0 || cfg.ChunkBlocks <= 0 || cfg.SegmentChunks <= 0 {
 		panic("lss: non-positive geometry")

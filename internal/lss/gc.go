@@ -8,93 +8,272 @@ import (
 	"adapt/internal/telemetry"
 )
 
-// runGC reclaims sealed segments until the free pool reaches the high
-// watermark. Victims are chosen by the configured policy; each
-// victim's valid blocks are re-placed through Policy.PlaceGC before
-// the segment returns to the free pool.
+// The GC cycle is a resumable state machine. A cycle reclaims sealed
+// segments until the free pool reaches the high watermark; victims are
+// chosen by the configured policy and each victim's valid blocks are
+// re-placed through Policy.PlaceGC before the segment returns to the
+// free pool. The synchronous path (runGC) drives the machine to
+// completion in one call — byte-identical behavior to the historical
+// inline cycle. Under Config.BackgroundGC an external pacer drives it
+// in bounded slices through GCStep, yielding at chunk-relocation and
+// victim boundaries so user operations interleave with GC instead of
+// stalling behind a whole cycle.
+//
+// Interleaving safety rests on three facts. User writes and trims
+// during a pause only *invalidate* victim slots (the mapping moves
+// away and valid decrements; the relocation scan skips unmapped
+// slots), so the valid==0 post-migration invariant still holds.
+// Segments only leave the sealed state through this cycle (inGC bars
+// reentry), so a selected victim batch stays reclaimable across
+// pauses. And the degraded flag and watermark target are re-read at
+// every batch boundary, so a Reconfigure landing mid-cycle takes
+// effect at the next batch instead of racing a latched target.
+
+// gcCycle is the persistent state of one (possibly preempted) cycle.
+type gcCycle struct {
+	target  int // free-pool goal, re-latched per victim batch
+	budget  int // remaining reclaims before the safety valve trips
+	victims []*segment
+	vi      int // next victim in the batch
+	slot    int // next slot of the current victim
+	// migrated counts blocks relocated out of the current victim, for
+	// the segment-observer callback.
+	migrated int
+	// batchBefore is the free-pool size when the current batch was
+	// selected, for the no-net-progress exit.
+	batchBefore int
+
+	// Cycle-delta telemetry, latched at cycle start.
+	startReclaimed, startMigrated, startScanned int64
+	id                                          int64
+	release                                     func()
+}
+
+// runGC synchronously drives the cycle — resuming the in-flight one if
+// preempted, else starting fresh — to completion. This is the
+// watermark trigger path (and the background mode's emergency floor).
 func (s *Store) runGC() {
-	s.inGC = true
-	defer func() { s.inGC = false }()
-	if s.gcGate != nil {
+	for !s.gcAdvance(math.MaxInt) {
+	}
+}
+
+// runGCUntil synchronously advances the cycle — in chunk-sized steps,
+// starting one if needed — until the free pool holds at least want
+// segments or the cycle completes on its own. A cycle preempted with
+// its target unmet stays in flight for the pacer to resume: this is
+// the emergency floor's minimal-stall path.
+func (s *Store) runGCUntil(want int) {
+	for len(s.free) < want {
+		if s.gcAdvance(s.chunkBlocks) {
+			return
+		}
+	}
+}
+
+// gcDue reports that the free pool has sunk far enough to owe GC
+// work. A synchronous store triggers at the low watermark and sweeps
+// back to the high one. A background store is due as soon as the pool
+// dips below the high watermark — urgency just above zero — so the
+// pacer can trickle small early slices instead of idling until the
+// pool hits the urgent zone and then racing the writers to the
+// emergency floor.
+func (s *Store) gcDue() bool {
+	if s.cfg.BackgroundGC {
+		// The early start also needs a reclaimable victim to exist (some
+		// sealed segment with garbage), or an eager pacer would spin
+		// opening cycles that select nothing.
+		return len(s.free) < s.cfg.GCHighWater && s.vidx.topGarbage() >= 1
+	}
+	return len(s.free) <= s.cfg.GCLowWater
+}
+
+// GCNeeded reports whether GC has work: a cycle is in flight or the
+// free pool is at or below the scheduling trigger (see gcDue). The
+// background pacer polls it.
+func (s *Store) GCNeeded() bool {
+	return s.gc != nil || s.gcDue()
+}
+
+// GCActive reports an in-flight (possibly preempted) cycle.
+func (s *Store) GCActive() bool { return s.gc != nil }
+
+// GCUrgency is the pacer's distance-to-watermark signal: 0 at or
+// above the high watermark, 1 at the low watermark, above 1 as the
+// pool sinks toward the emergency floor.
+func (s *Store) GCUrgency() float64 {
+	span := s.cfg.GCHighWater - s.cfg.GCLowWater
+	if span <= 0 {
+		span = 1
+	}
+	u := float64(s.cfg.GCHighWater-len(s.free)) / float64(span)
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// GCStep drives the background cycle by roughly budget relocation
+// units (a unit is one victim chunk scanned, costing at least 1 and at
+// most the blocks actually relocated), starting a cycle if one is due.
+// It returns true when no cycle remains in flight. Callers must
+// serialize with all other store use, exactly as for Write.
+func (s *Store) GCStep(budget int) (done bool) {
+	if s.gc == nil && !s.gcDue() {
+		return true
+	}
+	if budget <= 0 {
+		return s.gc == nil
+	}
+	s.metrics.GCSlices++
+	return s.gcAdvance(budget)
+}
+
+// gcTarget resolves the current free-pool goal; degraded mode (failed
+// array column, rebuild behind its watermark) reclaims only the
+// minimum needed to keep allocating so GC migration traffic does not
+// starve the rebuild.
+func (s *Store) gcTarget() int {
+	if s.degraded {
+		return s.cfg.GCLowWater + 1
+	}
+	return s.cfg.GCHighWater
+}
+
+// gcBegin opens a cycle: admission gate, cycle counters, trace event.
+func (s *Store) gcBegin() {
+	c := &gcCycle{
+		// Safety valve against livelock when every victim is nearly
+		// full (possible under random/windowed selection): after this
+		// many reclaims the cycle gives up and the caller may panic on
+		// true exhaustion.
+		budget:         8 * len(s.segments),
+		startReclaimed: s.metrics.SegmentsReclaimed,
+		startMigrated:  s.metrics.GCBlocks,
+		startScanned:   s.metrics.GCScannedBlocks,
+	}
+	if s.gcGate != nil && !s.cfg.BackgroundGC {
 		// Cross-shard desynchronization: wait for the shared scheduler
 		// token so at most one shard's GC competes for the device
 		// columns at a time. The shard lock stays held while waiting —
 		// this shard cannot allocate anyway — but other shards keep
 		// serving; their mutexes are disjoint.
-		release := s.gcGate()
-		defer release()
-	}
-	if s.cfg.Paranoid {
-		defer s.paranoidCheck("after GC cycle")
+		c.release = s.gcGate()
 	}
 	s.metrics.GCCycles++
+	c.id = s.metrics.GCCycles
+	if s.degraded {
+		s.metrics.ThrottledGCCycles++
+	}
 	if s.tracer != nil {
 		s.tracer.Emit(telemetry.GCStart(s.teleNow(), len(s.free)))
-		startReclaimed := s.metrics.SegmentsReclaimed
-		startMigrated := s.metrics.GCBlocks
-		startScanned := s.metrics.GCScannedBlocks
-		defer func() {
-			s.tracer.Emit(telemetry.GCEnd(s.teleNow(),
-				s.metrics.SegmentsReclaimed-startReclaimed,
-				s.metrics.GCBlocks-startMigrated,
-				s.metrics.GCScannedBlocks-startScanned))
-		}()
 	}
+	s.gc = c
+}
+
+// gcFinish closes the cycle: trace deltas, gate release, fail-stop
+// self-check.
+func (s *Store) gcFinish() {
+	c := s.gc
+	s.gc = nil
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.GCEnd(s.teleNow(),
+			s.metrics.SegmentsReclaimed-c.startReclaimed,
+			s.metrics.GCBlocks-c.startMigrated,
+			s.metrics.GCScannedBlocks-c.startScanned))
+	}
+	if c.release != nil {
+		c.release()
+	}
+	if s.cfg.Paranoid {
+		s.paranoidCheck("after GC cycle")
+	}
+}
+
+// gcAdvance executes the state machine until the cycle completes
+// (returns true) or roughly budget work units are spent (returns
+// false, cycle preempted). Each contiguous execution logs its own
+// interference interval, so tail-latency attribution sees the real
+// busy windows of a paced cycle rather than one wall-spanning blur.
+func (s *Store) gcAdvance(budget int) (done bool) {
+	s.inGC = true
+	if s.gc == nil {
+		s.gcBegin()
+	}
+	c := s.gc
 	if s.itv != nil {
-		cycle := s.metrics.GCCycles
-		gcT0 := s.teleNow()
+		sliceT0 := s.teleNow()
 		defer func() {
 			s.itv.Add(telemetry.Interval{
-				Kind: telemetry.IntervalGC, ID: cycle, Column: -1, Shard: s.shard,
-				Start: gcT0, End: s.teleNow(),
+				Kind: telemetry.IntervalGC, ID: c.id, Column: -1, Shard: s.shard,
+				Start: sliceT0, End: s.teleNow(),
 			})
 		}()
 	}
-	// Degraded mode (failed array column, rebuild behind its
-	// watermark): reclaim only the minimum needed to keep allocating —
-	// one victim at a time, stopping just above the low watermark — so
-	// GC migration traffic does not starve the rebuild.
-	target := s.cfg.GCHighWater
-	if s.degraded {
-		target = s.cfg.GCLowWater + 1
-		s.metrics.ThrottledGCCycles++
-	}
-	// Safety valve against livelock when every victim is nearly full
-	// (possible under random/windowed selection): after this many
-	// reclaims the cycle gives up and the caller may panic on true
-	// exhaustion.
-	budget := 8 * len(s.segments)
-	for len(s.free) < target {
-		before := len(s.free)
-		want := target - len(s.free)
-		if s.degraded {
-			want = 1
-		}
-		victims := s.selectVictims(want)
-		if len(victims) == 0 {
-			return // nothing reclaimable; caller may panic on exhaustion
-		}
-		for _, v := range victims {
-			if v.state != segSealed {
-				continue // already reclaimed (duplicate in a sampled batch)
+	defer func() { s.inGC = false }()
+	spent := 0
+	for {
+		if c.vi >= len(c.victims) {
+			// Victim-batch boundary: re-latch the target (the degraded
+			// flag may have flipped via Reconfigure during a pause) and
+			// run the end-of-batch exits.
+			if c.victims != nil {
+				if c.budget <= 0 {
+					s.gcFinish()
+					return true
+				}
+				if len(s.free) <= c.batchBefore && len(s.free) > s.cfg.GCLowWater {
+					// No net progress this batch (valid blocks merely
+					// moved) but the cushion is still healthy: stop
+					// churning; GC re-triggers at the next low-water
+					// allocation. Below the cushion we keep compacting —
+					// fractional garbage consolidates across batches and
+					// eventually frees whole segments.
+					s.gcFinish()
+					return true
+				}
 			}
-			s.reclaim(v)
-			budget--
-			if len(s.free) >= target {
-				return
+			c.target = s.gcTarget()
+			if len(s.free) >= c.target {
+				s.gcFinish()
+				return true
+			}
+			c.batchBefore = len(s.free)
+			want := c.target - len(s.free)
+			if s.degraded {
+				want = 1
+			}
+			c.victims = s.selectVictims(want)
+			c.vi, c.slot, c.migrated = 0, 0, 0
+			if len(c.victims) == 0 {
+				// Nothing reclaimable; the caller may panic on true
+				// exhaustion.
+				s.gcFinish()
+				return true
 			}
 		}
-		if budget <= 0 {
-			return
+		v := c.victims[c.vi]
+		if c.slot == 0 && v.state != segSealed {
+			c.vi++ // already reclaimed (duplicate in a sampled batch)
+			continue
 		}
-		if len(s.free) <= before && len(s.free) > s.cfg.GCLowWater {
-			// No net progress this batch (valid blocks merely moved)
-			// but the cushion is still healthy: stop churning; GC
-			// re-triggers at the next low-water allocation. Below the
-			// cushion we keep compacting — fractional garbage
-			// consolidates across batches and eventually frees whole
-			// segments.
-			return
+		spent += s.reclaimChunk(v, c)
+		if c.slot < v.written {
+			// Mid-victim yield point (chunk boundary).
+			if spent >= budget {
+				return false
+			}
+			continue
+		}
+		s.reclaimFinish(v, c)
+		c.vi++
+		c.slot, c.migrated = 0, 0
+		c.budget--
+		if len(s.free) >= c.target {
+			s.gcFinish()
+			return true
+		}
+		if spent >= budget {
+			return false
 		}
 	}
 }
@@ -413,25 +592,35 @@ func (s *Store) victimScore(seg *segment) float64 {
 	}
 }
 
-// reclaim migrates a victim's valid blocks and frees the segment.
-func (s *Store) reclaim(seg *segment) {
-	if seg.state != segSealed {
-		panic(fmt.Sprintf("lss: reclaiming segment %d in state %d", seg.id, seg.state))
-	}
-	if s.onReclaim != nil {
-		s.onReclaim(seg)
+// reclaimChunk migrates the valid blocks in one chunk's worth of a
+// victim's slots, starting at c.slot, and advances the cursor. It is
+// the state machine's unit of relocation work; the returned cost is
+// at least 1 (so all-garbage chunks still consume budget and the pacer
+// makes progress) and otherwise the number of blocks relocated.
+func (s *Store) reclaimChunk(seg *segment, c *gcCycle) int {
+	if c.slot == 0 {
+		if seg.state != segSealed {
+			panic(fmt.Sprintf("lss: reclaiming segment %d in state %d", seg.id, seg.state))
+		}
+		if s.onReclaim != nil {
+			s.onReclaim(seg.id)
+		}
 	}
 	base := int64(seg.id) * int64(s.segBlocks)
-	migrated := 0
-	for slot := 0; slot < seg.written; slot++ {
+	end := c.slot + s.chunkBlocks
+	if end > seg.written {
+		end = seg.written
+	}
+	relocated := 0
+	for ; c.slot < end; c.slot++ {
 		// Shadow slots are decoded too: after crash recovery the
 		// mapping may legitimately point at a shadow copy, which must
 		// be migrated like any live block.
-		lba, ok := decodeSlot(seg.lbas[slot])
+		lba, ok := decodeSlot(seg.lbas[c.slot])
 		if !ok {
 			continue // padding
 		}
-		if s.mapping[lba] != base+int64(slot) {
+		if s.mapping[lba] != base+int64(c.slot) {
 			continue // overwritten since (or an expired shadow copy): garbage
 		}
 		target := s.policy.PlaceGC(lba, seg.group, seg.born, seg.sealedW, s.w)
@@ -440,13 +629,22 @@ func (s *Store) reclaim(seg *segment) {
 		}
 		s.metrics.GCBlocks++
 		s.appendBlock(target, lba, kindGC)
-		migrated++
+		relocated++
 	}
+	c.migrated += relocated
+	if relocated < 1 {
+		return 1
+	}
+	return relocated
+}
+
+// reclaimFinish frees a fully migrated victim.
+func (s *Store) reclaimFinish(seg *segment, c *gcCycle) {
 	if seg.valid != 0 {
 		panic(fmt.Sprintf("lss: segment %d has %d valid blocks after migration", seg.id, seg.valid))
 	}
 	if s.segObs != nil {
-		s.segObs.OnSegmentReclaimed(seg.group, seg.born, seg.sealedW, s.w, migrated, seg.written)
+		s.segObs.OnSegmentReclaimed(seg.group, seg.born, seg.sealedW, s.w, c.migrated, seg.written)
 	}
 	s.vidx.onFree(seg)
 	seg.state = segFree

@@ -1,0 +1,219 @@
+package lss
+
+import (
+	"testing"
+
+	"adapt/internal/sim"
+)
+
+func backgroundConfig() Config {
+	cfg := smallConfig()
+	cfg.BackgroundGC = true
+	return cfg
+}
+
+// runSliced replays a fixed workload with background GC settled after
+// every write in slices of the given budget, and returns the victim
+// sequence plus the final state.
+func runSliced(t *testing.T, budget int) ([]int, *Metrics, map[int64]bool) {
+	t.Helper()
+	cfg := backgroundConfig()
+	var victims []int
+	s := New(cfg, twoGroup{}, Deps{ReclaimObserver: func(id int) { victims = append(victims, id) }})
+	rng := sim.NewRNG(4242)
+	now := sim.Time(0)
+	for i := 0; i < 20000; i++ {
+		now += 10 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatal(err)
+		}
+		for !s.GCStep(budget) {
+		}
+	}
+	s.Drain(now + sim.Second)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("budget %d: %v", budget, err)
+	}
+	return victims, s.Metrics(), mappingSnapshot(s)
+}
+
+// TestBackgroundGCSliceEquivalence is the metamorphic preemption test:
+// a GC cycle driven to completion in budget-sized slices — yielding at
+// every chunk boundary for budget 1 — must produce exactly the victim
+// sequence, traffic accounting, and live mapping of the unpreempted
+// run, because preemption points only pause the state machine, never
+// change what it does.
+func TestBackgroundGCSliceEquivalence(t *testing.T) {
+	wantVictims, wantM, wantSnap := runSliced(t, 1<<30) // unpreempted
+	if wantM.GCCycles == 0 || wantM.SegmentsReclaimed == 0 {
+		t.Fatal("workload did not trigger GC; test is vacuous")
+	}
+	for _, budget := range []int{1, 2, 3, 7, 16} {
+		victims, m, snap := runSliced(t, budget)
+		if len(victims) != len(wantVictims) {
+			t.Fatalf("budget %d: %d victims, want %d", budget, len(victims), len(wantVictims))
+		}
+		for i := range victims {
+			if victims[i] != wantVictims[i] {
+				t.Fatalf("budget %d: victim[%d] = %d, want %d", budget, i, victims[i], wantVictims[i])
+			}
+		}
+		if m.UserBlocks != wantM.UserBlocks || m.GCBlocks != wantM.GCBlocks ||
+			m.PaddingBlocks != wantM.PaddingBlocks || m.SegmentsReclaimed != wantM.SegmentsReclaimed ||
+			m.GCCycles != wantM.GCCycles || m.GCScannedBlocks != wantM.GCScannedBlocks {
+			t.Fatalf("budget %d: metrics diverge: %+v vs %+v", budget, m, wantM)
+		}
+		if len(snap) != len(wantSnap) {
+			t.Fatalf("budget %d: live set %d blocks, want %d", budget, len(snap), len(wantSnap))
+		}
+		for lba := range wantSnap {
+			if !snap[lba] {
+				t.Fatalf("budget %d: lba %d missing from live set", budget, lba)
+			}
+		}
+	}
+}
+
+// TestBackgroundGCInterleavedWrites pauses cycles across user writes —
+// one small slice per op, never settling — so segments written after a
+// cycle began interleave with its relocations. Equivalence no longer
+// holds (victim choice legitimately depends on when selection runs),
+// but every structural invariant must.
+func TestBackgroundGCInterleavedWrites(t *testing.T) {
+	cfg := backgroundConfig()
+	s := New(cfg, twoGroup{})
+	rng := sim.NewRNG(99)
+	now := sim.Time(0)
+	for i := 0; i < 30000; i++ {
+		now += 10 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatal(err)
+		}
+		s.GCStep(4)
+		if i%5000 == 4999 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	for !s.GCStep(1 << 30) {
+	}
+	s.Drain(now + sim.Second)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.GCSlices == 0 {
+		t.Fatal("no paced GC slices ran")
+	}
+	if m.GCCycles == 0 || m.SegmentsReclaimed == 0 {
+		t.Fatal("background GC reclaimed nothing")
+	}
+}
+
+// TestBackgroundGCDegradedToggleMidCycle reproduces the degraded-mode
+// race the state machine closes: flipping Runtime.Degraded while a
+// cycle is paused mid-victim must not corrupt the cycle — the new mode
+// is latched at the next victim-batch boundary, and the cycle still
+// runs to completion with invariants intact.
+func TestBackgroundGCDegradedToggleMidCycle(t *testing.T) {
+	cfg := backgroundConfig()
+	s := New(cfg, twoGroup{})
+	rng := sim.NewRNG(7)
+	now := sim.Time(0)
+	degraded := false
+	for i := 0; i < 30000; i++ {
+		now += 10 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatal(err)
+		}
+		s.GCStep(1) // smallest slices: maximal exposure mid-victim
+		if i%97 == 0 {
+			degraded = !degraded
+			s.Reconfigure(func(r *Runtime) { r.Degraded = degraded })
+		}
+	}
+	s.Reconfigure(func(r *Runtime) { r.Degraded = false })
+	for !s.GCStep(1 << 30) {
+	}
+	s.Drain(now + sim.Second)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.GCCycles == 0 {
+		t.Fatal("no GC cycles ran")
+	}
+	if m.ThrottledGCCycles == 0 {
+		t.Fatal("no cycle started degraded despite the toggles")
+	}
+}
+
+// TestBackgroundGCEmergencyFloor starves the pacer entirely: with
+// BackgroundGC set and nobody calling GCStep, allocation must fall
+// back to synchronous collection at the emergency floor rather than
+// exhaust the free pool.
+func TestBackgroundGCEmergencyFloor(t *testing.T) {
+	cfg := backgroundConfig()
+	s := New(cfg, twoGroup{})
+	rng := sim.NewRNG(3)
+	now := sim.Time(0)
+	for i := 0; i < 30000; i++ {
+		now += 10 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain(now + sim.Second)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.GCEmergencyRuns == 0 {
+		t.Fatal("starved pacer never hit the emergency fallback")
+	}
+	if m.SegmentsReclaimed == 0 {
+		t.Fatal("emergency GC reclaimed nothing")
+	}
+}
+
+// TestBackgroundGCUrgencySignal pins the controller-facing signals:
+// urgency is 0 at or above the high watermark, 1 at the low one,
+// monotonically increasing as the free pool drains between them — and
+// a background store reports GCNeeded while urgency is still below 1,
+// so the pacer starts trickling before the pool reaches the urgent
+// zone instead of racing the writers from there to the floor.
+func TestBackgroundGCUrgencySignal(t *testing.T) {
+	cfg := backgroundConfig()
+	s := New(cfg, twoGroup{})
+	if got := s.GCUrgency(); got != 0 {
+		t.Fatalf("fresh store urgency = %v, want 0", got)
+	}
+	if s.GCNeeded() {
+		t.Fatal("fresh store reports GC needed")
+	}
+	rng := sim.NewRNG(5)
+	now := sim.Time(0)
+	prev := 0.0
+	firstNeeded := -1.0
+	for s.GCUrgency() < 1 {
+		now += 10 * sim.Microsecond
+		if err := s.WriteBlock(rng.Int63n(cfg.UserBlocks), now); err != nil {
+			t.Fatal(err)
+		}
+		u := s.GCUrgency()
+		if u < prev-1e-9 {
+			t.Fatalf("urgency fell from %v to %v while the pool drained", prev, u)
+		}
+		prev = u
+		if firstNeeded < 0 && s.GCNeeded() {
+			firstNeeded = u
+		}
+	}
+	if firstNeeded < 0 {
+		t.Fatal("GCNeeded never fired while the pool drained to the low watermark")
+	}
+	if firstNeeded >= 1 {
+		t.Fatalf("background GC first due at urgency %v; want an early start below 1", firstNeeded)
+	}
+}

@@ -133,15 +133,3 @@ func (s *Store) FlushedSlots(segID int) int {
 	}
 	return seg.written
 }
-
-// SetReclaimObserver registers fn to be called with every reclaimed
-// victim's segment id, in reclaim order. The differential harness
-// compares victim sequences across selection paths through it. Pass
-// nil to remove.
-func (s *Store) SetReclaimObserver(fn func(segID int)) {
-	if fn == nil {
-		s.onReclaim = nil
-		return
-	}
-	s.onReclaim = func(seg *segment) { fn(seg.id) }
-}

@@ -44,6 +44,13 @@ type Metrics struct {
 	// considered by the full scan. Comparable as "selection effort"
 	// either way, but not across the two paths.
 	GCScannedBlocks int64
+	// GCSlices counts externally paced GC executions (GCStep calls that
+	// did work); a synchronous cycle is one activation and zero slices.
+	GCSlices int64
+	// GCEmergencyRuns counts allocations under Config.BackgroundGC that
+	// hit the emergency floor and ran a synchronous cycle inline — the
+	// pacer fell behind.
+	GCEmergencyRuns int64
 
 	PerGroup []GroupMetrics
 }

@@ -101,7 +101,9 @@ func (s *Store) WriteCheckpoint(w io.Writer) error {
 // WriteCheckpoint. cfg and policy must match the original geometry
 // (the policy's own state is rebuilt cold, as after any restart).
 // Traffic metrics restart from zero; only durable state is restored.
-func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
+// deps, if given, is wired in after the rebuild so an attached
+// telemetry set observes the recovered-segment counters.
+func Recover(r io.Reader, cfg Config, p Policy, deps ...Deps) (*Store, error) {
 	s := New(cfg, p)
 	br := bufio.NewReader(r)
 	head := make([]byte, len(ckptMagic))
@@ -254,5 +256,6 @@ func Recover(r io.Reader, cfg Config, p Policy) (*Store, error) {
 	// Segment state was rebuilt wholesale above, bypassing the victim
 	// index hooks; reconstruct the index (and seal sequences) from it.
 	s.rebuildVictimIndex()
+	s.applyDeps(deps)
 	return s, nil
 }

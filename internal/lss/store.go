@@ -101,9 +101,15 @@ type Store struct {
 	groups   []*group
 	mapping  []int64 // lba -> seg.id*segBlocks + slot, or -1
 
-	w         sim.WriteClock
-	now       sim.Time
+	w   sim.WriteClock
+	now sim.Time
+	// inGC guards against reentrant GC while cycle code is on the
+	// stack (GC migrations allocate through ensureOpen); gc holds the
+	// resumable state of the in-flight cycle, which under
+	// Config.BackgroundGC may persist, preempted, across user
+	// operations until the pacer's next GCStep.
 	inGC      bool
+	gc        *gcCycle
 	degraded  bool  // throttle GC while the array runs degraded
 	appendSeq int64 // monotone per-append version for recovery
 	sealCount int64 // monotone seal counter feeding segment.sealSeq
@@ -113,7 +119,7 @@ type Store struct {
 	vidx *victimIndex
 	// onReclaim, when set, observes every reclaimed victim in selection
 	// order (differential tests compare victim sequences through it).
-	onReclaim func(*segment)
+	onReclaim func(segID int)
 
 	segBlocks   int
 	chunkBlocks int
@@ -125,12 +131,14 @@ type Store struct {
 	// sink, when set, observes every chunk flush (the prototype routes
 	// these to simulated devices). auditSink is a second, independent
 	// observer slot reserved for verification (the checker's byte
-	// mirror); it survives SetChunkSink so the oracle composes with
-	// device models.
+	// mirror), so the oracle composes with device models.
 	sink      ChunkSink
 	auditSink ChunkSink
 
-	// Telemetry hooks; all nil (no-op) until SetTelemetry.
+	// Telemetry hooks; all nil (no-op) until a set attaches via Deps
+	// or Reconfigure. tset remembers the attached set so Reconfigure
+	// can treat re-attachment as a no-op.
+	tset    *telemetry.Set
 	tracer  *telemetry.Tracer
 	rec     *telemetry.Recorder
 	padHist *telemetry.Histogram
@@ -146,10 +154,11 @@ type Store struct {
 	// shard label and GC intervals carry it, so per-shard GC activity
 	// stays attributable after aggregation.
 	shard int32
-	// gcGate, when set, is invoked at the start of every GC cycle and
-	// the returned release when the cycle ends. The sharded engine
-	// serializes cross-shard GC through it so no two shards collect —
-	// and saturate the shared device columns — at the same time.
+	// gcGate, when set, is invoked at the start of every synchronous
+	// GC cycle and the returned release when the cycle ends. The
+	// sharded engine serializes cross-shard GC through it so no two
+	// shards collect — and saturate the shared device columns — at the
+	// same time. Ignored under BackgroundGC (the pacer serializes).
 	gcGate func() (release func())
 	// recoveredSegments/Blocks record what Recover rebuilt, reported
 	// through the tracer when telemetry attaches to a recovered store.
@@ -173,19 +182,10 @@ type ChunkWrite struct {
 // ChunkSink observes every chunk flush.
 type ChunkSink func(ChunkWrite)
 
-// SetChunkSink registers a chunk-flush observer. Pass nil to remove.
-func (s *Store) SetChunkSink(sink ChunkSink) { s.sink = sink }
-
-// SetAuditSink registers a verification observer for chunk flushes,
-// independent of the primary sink: the correctness checker mirrors
-// flushed chunks into its byte-accurate array through it while a
-// device model keeps the primary slot. Pass nil to remove.
-func (s *Store) SetAuditSink(sink ChunkSink) { s.auditSink = sink }
-
 // New builds a store with the given configuration and placement
-// policy. If the policy implements Advisor or SegmentObserver those
-// hooks are wired automatically.
-func New(cfg Config, p Policy) *Store {
+// policy, wired with at most one Deps. If the policy implements
+// Advisor or SegmentObserver those hooks are wired automatically.
+func New(cfg Config, p Policy, deps ...Deps) *Store {
 	if p == nil {
 		panic("lss: nil policy")
 	}
@@ -241,6 +241,7 @@ func New(cfg Config, p Policy) *Store {
 	if o, ok := p.(SegmentObserver); ok {
 		s.segObs = o
 	}
+	s.applyDeps(deps)
 	return s
 }
 
@@ -263,13 +264,6 @@ func (s *Store) WriteClock() sim.WriteClock { return s.w }
 // Now returns the current simulated time.
 func (s *Store) Now() sim.Time { return s.now }
 
-// SetClock overrides the clock used for telemetry timestamps (tracer
-// events and interference intervals). The store's logical clock s.now
-// only advances at op boundaries, so during a synchronous GC cycle it
-// is frozen; a live deployment injects a wall-derived clock here so GC
-// intervals have real width. Pass nil to revert to the logical clock.
-func (s *Store) SetClock(fn func() sim.Time) { s.clock = fn }
-
 // teleNow returns the telemetry timestamp: the injected clock when
 // set, the logical clock otherwise.
 func (s *Store) teleNow() sim.Time {
@@ -282,34 +276,11 @@ func (s *Store) teleNow() sim.Time {
 // FreeSegments returns the current free-pool size.
 func (s *Store) FreeSegments() int { return len(s.free) }
 
-// SetShard marks the store as shard id of a sharded engine. Call
-// before SetTelemetry: metric names then carry a {shard="id"} label
-// (avoiding registry collisions when several shard stores share one
-// set) and GC interference intervals record the shard. The recorder
-// is not attached to a shard store — its function gauges read live
-// store state, and recorder ticks refresh every registered gauge, so
-// only the sharded engine (which can hold every shard lock) may
-// drive it.
-func (s *Store) SetShard(id int) { s.shard = int32(id) }
-
 // Shard returns the store's shard id, -1 when standalone.
 func (s *Store) Shard() int { return int(s.shard) }
 
-// SetGCGate installs a cross-shard GC admission gate: acquire runs at
-// the start of every GC cycle (it may block) and the release it
-// returns runs when the cycle completes. Pass nil to remove.
-func (s *Store) SetGCGate(acquire func() (release func())) { s.gcGate = acquire }
-
-// SetDegraded toggles degraded mode. While set, GC is throttled to
-// leave device bandwidth for the array rebuild: each cycle reclaims
-// one victim at a time and stops as soon as the free pool climbs just
-// above the low watermark, instead of compacting up to the high
-// watermark. The caller (the prototype's rebuild loop) flips the flag
-// based on its rebuild-progress watermark. Callers must serialize
-// with all other store use.
-func (s *Store) SetDegraded(v bool) { s.degraded = v }
-
 // Degraded reports whether degraded-mode GC throttling is active.
+// Toggle it through Reconfigure.
 func (s *Store) Degraded() bool { return s.degraded }
 
 // TotalSegments returns the physical segment count.
@@ -696,8 +667,23 @@ func (s *Store) ensureOpen(gr *group) *segment {
 	if gr.open != nil {
 		return gr.open
 	}
-	if !s.inGC && len(s.free) <= s.cfg.GCLowWater {
-		s.runGC()
+	if !s.inGC {
+		if s.cfg.BackgroundGC {
+			// Background mode: watermark-triggered GC is the external
+			// pacer's job (GCStep); the store only intervenes when the
+			// free pool hits the emergency hard floor. Even then it does
+			// the minimum stop-the-world work — advance the in-flight
+			// cycle (or a fresh one) synchronously only until the pool
+			// clears the low watermark — and leaves the rest of the
+			// cycle in flight for the pacer, so an emergency costs a few
+			// segments' relocation inline, not a whole cycle's.
+			if len(s.free) <= s.cfg.GCEmergencyFloor {
+				s.metrics.GCEmergencyRuns++
+				s.runGCUntil(s.cfg.GCLowWater)
+			}
+		} else if len(s.free) <= s.cfg.GCLowWater {
+			s.runGC()
+		}
 		// GC migrations may have placed blocks into this very group,
 		// opening a segment for it already.
 		if gr.open != nil {

@@ -21,23 +21,25 @@ func (s *Store) shardName(name string) string {
 	return fmt.Sprintf("%s{shard=\"%d\"}", name, s.shard)
 }
 
-// SetTelemetry attaches a telemetry set to the store: canonical store
-// metrics register as function-backed gauges over the live Metrics
-// (zero hot-path cost), the recorder begins ticking on the store's
-// simulated clock inside advance, and the tracer receives GC, seal,
-// flush, and padding events. Pass nil to detach the recorder and
-// tracer (registered gauges keep serving their last refreshed value).
+// attachTelemetry attaches a telemetry set to the store (reached via
+// Deps.Telemetry or Reconfigure): canonical store metrics register as
+// function-backed gauges over the live Metrics (zero hot-path cost),
+// the recorder begins ticking on the store's simulated clock inside
+// advance, and the tracer receives GC, seal, flush, and padding
+// events. Pass nil to detach the recorder and tracer (registered
+// gauges keep serving their last refreshed value).
 //
 // Attach at most one set per store, before concurrent use begins; the
 // function gauges read store state and are refreshed only at recorder
 // ticks, which run under the caller's store lock.
 //
-// Shard stores (SetShard called) register every instrument under a
+// Shard stores (Deps.Sharded) register every instrument under a
 // {shard="id"} label and do NOT attach the recorder: a recorder tick
 // refreshes every function gauge on the set, including other shards'
 // store-reading gauges, so only the sharded engine — which can hold
 // all shard locks at once — may drive it.
-func (s *Store) SetTelemetry(ts *telemetry.Set) {
+func (s *Store) attachTelemetry(ts *telemetry.Set) {
+	s.tset = ts
 	if ts == nil {
 		s.tracer = nil
 		s.rec = nil
@@ -67,6 +69,8 @@ func (s *Store) SetTelemetry(ts *telemetry.Set) {
 		{telemetry.MetricGCThrottled, "GC activations throttled by degraded mode", func() int64 { return s.metrics.ThrottledGCCycles }},
 		{telemetry.MetricSegmentsReclaimed, "Segments reclaimed by GC", func() int64 { return s.metrics.SegmentsReclaimed }},
 		{telemetry.MetricGCScanned, "Victim-selection effort: index probes (legacy scan: candidates considered)", func() int64 { return s.metrics.GCScannedBlocks }},
+		{telemetry.MetricGCSlices, "Externally paced GC slices executed", func() int64 { return s.metrics.GCSlices }},
+		{telemetry.MetricGCEmergency, "Synchronous emergency GC runs under background mode", func() int64 { return s.metrics.GCEmergencyRuns }},
 		{telemetry.MetricSLAViolations, "Persistence latencies beyond the SLA window", func() int64 { return s.metrics.Latency.Violations }},
 		{telemetry.MetricChunkFlushes, "Chunk writes issued to the array", func() int64 {
 			var n int64

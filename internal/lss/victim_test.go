@@ -119,18 +119,20 @@ func TestChunkSinkReceivesEveryFlush(t *testing.T) {
 	cfg := s.Config() // effective (defaulted) geometry
 	var flushes int64
 	var payload, pad int64
-	s.SetChunkSink(func(w ChunkWrite) {
-		flushes++
-		payload += w.PayloadBytes
-		pad += w.PadBytes
-		if w.PayloadBytes+w.PadBytes != cfg.ChunkBytes() {
-			t.Fatalf("sink chunk of %d+%d bytes", w.PayloadBytes, w.PadBytes)
-		}
-		if w.Chunk < 0 || w.Chunk >= cfg.SegmentChunks {
-			t.Fatalf("sink chunk index %d out of range", w.Chunk)
-		}
-		if w.Segment < 0 || w.Segment >= s.TotalSegments() {
-			t.Fatalf("sink segment %d out of range", w.Segment)
+	s.Reconfigure(func(r *Runtime) {
+		r.Sink = func(w ChunkWrite) {
+			flushes++
+			payload += w.PayloadBytes
+			pad += w.PadBytes
+			if w.PayloadBytes+w.PadBytes != cfg.ChunkBytes() {
+				t.Fatalf("sink chunk of %d+%d bytes", w.PayloadBytes, w.PadBytes)
+			}
+			if w.Chunk < 0 || w.Chunk >= cfg.SegmentChunks {
+				t.Fatalf("sink chunk index %d out of range", w.Chunk)
+			}
+			if w.Segment < 0 || w.Segment >= s.TotalSegments() {
+				t.Fatalf("sink segment %d out of range", w.Segment)
+			}
 		}
 	})
 	rng := sim.NewRNG(5)

@@ -26,7 +26,7 @@ func runDifferential(t testing.TB, v VictimPolicy, legacy bool, seed uint64) ([]
 	cfg.LegacyVictimScan = legacy
 	s := New(cfg, twoGroup{})
 	var seq []int
-	s.onReclaim = func(seg *segment) { seq = append(seq, seg.id) }
+	s.onReclaim = func(segID int) { seq = append(seq, segID) }
 	rng := sim.NewRNG(seed)
 	for i := int64(0); i < cfg.UserBlocks; i++ {
 		if err := s.WriteBlock(i, 0); err != nil {

@@ -46,8 +46,34 @@ type Ingest interface {
 	// for a flat engine).
 	ShardOf(lba int64) int
 
+	// GCShards returns the background-GC stepping surface of every
+	// shard (one entry for a flat engine), for an external pacer when
+	// the stores run with Config.BackgroundGC.
+	GCShards() []GCShard
+	// QueueFill reports the fill fraction of the most backlogged device
+	// queue (0 empty, 1 full) — the pacer's backpressure signal. Safe
+	// without any engine lock.
+	QueueFill() float64
+
 	Drain() error
 	Close() error
+}
+
+// GCShard is one shard's background-GC stepping surface: the pacer
+// polls need and urgency, then buys bounded slices of relocation work.
+// Every method takes the shard's own lock, so a slice excludes user
+// operations on that shard only for its duration.
+type GCShard interface {
+	// GCNeeded reports pending GC work: an in-flight (paused) cycle or
+	// a free pool at or below the low watermark.
+	GCNeeded() bool
+	// GCUrgency is the distance-to-watermark signal: 0 at the high
+	// watermark, 1 at the low watermark, above 1 approaching the
+	// emergency floor.
+	GCUrgency() float64
+	// GCStep runs up to budget relocation units and reports whether no
+	// cycle remains in flight.
+	GCStep(budget int) bool
 }
 
 // deviceArray models the physical SSD array: per-column bounded
@@ -91,7 +117,13 @@ func newDeviceArray(ncols, queueDepth int, writeService, readService time.Durati
 				d.written++
 				// Throttle to the modelled bandwidth, sleeping only
 				// when the debt is large enough for the OS timer.
-				if lag := virtual - time.Since(da.start); lag > 2*time.Millisecond {
+				// The granule trades timer pressure for tail
+				// fidelity: sleeping off a large debt in one go
+				// quantizes every enqueue stall behind it to the full
+				// sleep, which would put a multi-millisecond floor
+				// under the serving layer's p999 that no GC
+				// scheduling could get beneath.
+				if lag := virtual - time.Since(da.start); lag > 200*time.Microsecond {
 					time.Sleep(lag)
 				}
 			}
@@ -120,6 +152,19 @@ func (da *deviceArray) registerTelemetry(ts *telemetry.Set) {
 			"Queued chunk operations", false,
 			func() int64 { return int64(len(ch)) })
 	}
+}
+
+// queueFill reports the fill fraction of the most backlogged column's
+// queue. Channel length is safe to read concurrently, so this needs no
+// lock — it is a pacing heuristic, not a synchronized snapshot.
+func (da *deviceArray) queueFill() float64 {
+	var worst float64
+	for _, d := range da.devices {
+		if f := float64(len(d.ch)) / float64(cap(d.ch)); f > worst {
+			worst = f
+		}
+	}
+	return worst
 }
 
 // close shuts the device queues and waits for the workers. Safe to
@@ -238,50 +283,67 @@ func (cfg EngineConfig) withDefaults() EngineConfig {
 
 // NewEngine builds and starts a standalone ingest engine. The caller
 // must Close it to drain open chunks and stop the device workers.
+// Direct construction is for this module's own tooling; everything
+// else should go through the public adapt.NewEngine, which shares the
+// simulator's configuration validation (typed policy names, GCSched
+// floors as errors instead of panics).
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.VerifyMirror && !cfg.Verify {
 		return nil, fmt.Errorf("prototype: VerifyMirror requires Verify")
 	}
-	return newEngineOn(cfg, nil, -1, true)
+	return newEngineOn(cfg, nil, -1, true, nil)
 }
 
 // newEngineOn builds an engine over an existing device array (nil:
 // create a private one from the store geometry). shard is -1 for a
 // standalone engine; owns marks the engine as the array's owner (it
-// registers device telemetry and closes the array).
-func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool) (*Engine, error) {
-	store := lss.New(cfg.Store, cfg.Policy)
-	if shard >= 0 {
-		store.SetShard(shard)
-	}
-	var oracle *checker.Oracle
-	if cfg.Verify {
-		o, err := checker.New(store, checker.Options{Mirror: cfg.VerifyMirror})
-		if err != nil {
-			return nil, err
-		}
-		oracle = o
-	}
+// registers device telemetry and closes the array). gate, if non-nil,
+// is the cross-shard GC admission gate wired into the store's Deps.
+func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool, gate func() (release func())) (*Engine, error) {
+	geo := cfg.Store.GeometryDefaults()
 	if da == nil {
-		da = newDeviceArray(store.Config().DataColumns+1, cfg.QueueDepth, cfg.ServiceTime, cfg.ReadServiceTime)
+		da = newDeviceArray(geo.DataColumns+1, cfg.QueueDepth, cfg.ServiceTime, cfg.ReadServiceTime)
 	}
 	e := &Engine{
-		store:    store,
-		oracle:   oracle,
 		rng:      sim.NewRNG(0xe116 + uint64(shard+1)*0x9e37),
 		devs:     da,
 		ownsDevs: owns,
 		shard:    int32(shard),
-		ncols:    store.Config().DataColumns + 1,
+		ncols:    geo.DataColumns + 1,
+	}
+	// The sink runs under the engine lock (the store is only entered
+	// with it held); RAID-5 rotation matches Run's. Each shard rotates
+	// its own stripe cursor over the shared columns.
+	chunkBytes := geo.ChunkBytes()
+	deps := lss.Deps{
+		GCGate: gate,
+		Sink: func(w lss.ChunkWrite) {
+			parityCol := int(e.parityRow % int64(e.ncols))
+			col := e.stripeFill
+			if col >= parityCol {
+				col++
+			}
+			e.sinkSend(e.devs.devices[col], chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
+			e.stripeFill++
+			if e.stripeFill == e.ncols-1 {
+				e.sinkSend(e.devs.devices[parityCol], chunkJob{payload: chunkBytes})
+				e.parityChunks++
+				e.stripeFill = 0
+				e.parityRow++
+			}
+		},
+	}
+	if shard >= 0 {
+		deps.Sharded, deps.Shard = true, shard
 	}
 	if ts := cfg.Telemetry; ts != nil {
-		store.SetTelemetry(ts)
+		deps.Telemetry = ts
 		// The store's own clock freezes at the op timestamp for the
 		// duration of a synchronous GC cycle; interference intervals
 		// need real elapsed time, so give it the wall-derived clock.
+		deps.Clock = da.now
 		e.itv = ts.Intervals
-		store.SetClock(da.now)
 		if shard < 0 {
 			// Policy instruments register under fixed names, so only a
 			// standalone engine (one policy on the set) may wire them.
@@ -295,26 +357,17 @@ func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool) (*Engi
 			da.registerTelemetry(ts)
 		}
 	}
-	// The sink runs under the engine lock (the store is only entered
-	// with it held); RAID-5 rotation matches Run's. Each shard rotates
-	// its own stripe cursor over the shared columns.
-	store.SetChunkSink(func(w lss.ChunkWrite) {
-		parityCol := int(e.parityRow % int64(e.ncols))
-		col := e.stripeFill
-		if col >= parityCol {
-			col++
+	e.store = lss.New(cfg.Store, cfg.Policy, deps)
+	if cfg.Verify {
+		o, err := checker.New(e.store, checker.Options{Mirror: cfg.VerifyMirror})
+		if err != nil {
+			e.abort()
+			return nil, err
 		}
-		e.sinkSend(e.devs.devices[col], chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
-		e.stripeFill++
-		if e.stripeFill == e.ncols-1 {
-			e.sinkSend(e.devs.devices[parityCol], chunkJob{payload: int64(store.Config().ChunkBytes())})
-			e.parityChunks++
-			e.stripeFill = 0
-			e.parityRow++
-		}
-	})
+		e.oracle = o
+	}
 	if cfg.Fill {
-		for lba := int64(0); lba < store.Config().UserBlocks; lba++ {
+		for lba := int64(0); lba < e.store.Config().UserBlocks; lba++ {
 			if err := e.Write(lba, 1); err != nil {
 				e.abort()
 				return nil, fmt.Errorf("prototype: engine fill: %w", err)
@@ -350,6 +403,38 @@ func (e *Engine) ShardOf(lba int64) int { return 0 }
 
 // ShardStats returns the single-shard snapshot.
 func (e *Engine) ShardStats() []EngineStats { return []EngineStats{e.Stats()} }
+
+// GCShards returns the engine itself: a flat engine is its own single
+// GC-stepping shard.
+func (e *Engine) GCShards() []GCShard { return []GCShard{e} }
+
+// QueueFill reports the fill fraction of the most backlogged device
+// queue.
+func (e *Engine) QueueFill() float64 { return e.devs.queueFill() }
+
+// GCNeeded implements GCShard.
+func (e *Engine) GCNeeded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.closed && e.store.GCNeeded()
+}
+
+// GCUrgency implements GCShard.
+func (e *Engine) GCUrgency() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.GCUrgency()
+}
+
+// GCStep implements GCShard.
+func (e *Engine) GCStep(budget int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return true
+	}
+	return e.store.GCStep(budget)
+}
 
 // sinkSend dispatches a chunk job onto a device queue. Caller holds
 // e.mu. When an op is being timed, time blocked on a full queue is
@@ -615,6 +700,11 @@ type EngineStats struct {
 	// Always zero on a flat engine.
 	GCGateWaits  int64
 	GCGateWaitNS int64
+	// GCSlices counts externally paced GC executions; GCEmergencyRuns
+	// counts background-mode allocations that hit the emergency floor
+	// and collected synchronously. Both zero without BackgroundGC.
+	GCSlices        int64
+	GCEmergencyRuns int64
 }
 
 // Stats returns a snapshot of the engine's accounting.
@@ -627,18 +717,20 @@ func (e *Engine) Stats() EngineStats {
 func (e *Engine) statsLocked() EngineStats {
 	m := e.store.Metrics()
 	st := EngineStats{
-		UserBlocks:    m.UserBlocks,
-		GCBlocks:      m.GCBlocks,
-		ShadowBlocks:  m.ShadowBlocks,
-		PaddingBlocks: m.PaddingBlocks,
-		ReadBlocks:    m.ReadBlocks,
-		TrimmedBlocks: m.TrimmedBlocks,
-		ParityChunks:  e.parityChunks,
-		GCCycles:      m.GCCycles,
-		FreeSegments:  e.store.FreeSegments(),
-		WA:            m.WA(),
-		EffectiveWA:   m.EffectiveWA(),
-		PaddingRatio:  m.PaddingRatio(),
+		UserBlocks:      m.UserBlocks,
+		GCBlocks:        m.GCBlocks,
+		ShadowBlocks:    m.ShadowBlocks,
+		PaddingBlocks:   m.PaddingBlocks,
+		ReadBlocks:      m.ReadBlocks,
+		TrimmedBlocks:   m.TrimmedBlocks,
+		ParityChunks:    e.parityChunks,
+		GCCycles:        m.GCCycles,
+		GCSlices:        m.GCSlices,
+		GCEmergencyRuns: m.GCEmergencyRuns,
+		FreeSegments:    e.store.FreeSegments(),
+		WA:              m.WA(),
+		EffectiveWA:     m.EffectiveWA(),
+		PaddingRatio:    m.PaddingRatio(),
 	}
 	for i := range m.PerGroup {
 		st.PaddedChunks += m.PerGroup[i].PaddingEvents

@@ -129,7 +129,7 @@ func (t faultTargets) snap() trafficSnap {
 // holds the locker.
 func (t faultTargets) setDegraded(v bool) {
 	for _, st := range t.stores {
-		st.SetDegraded(v)
+		st.Reconfigure(func(r *lss.Runtime) { r.Degraded = v })
 	}
 }
 

@@ -52,6 +52,12 @@ type Config struct {
 	QueueDepth int
 	// Seed drives the zipfian streams.
 	Seed uint64
+	// GCSliceUnits is the per-operation background-GC budget when
+	// Store.BackgroundGC is set (default 32): each client op donates one
+	// bounded GCStep slice under the store lock, so collection overlaps
+	// the run instead of stalling single writes for whole cycles. Ignored
+	// without BackgroundGC.
+	GCSliceUnits int
 	// Telemetry, when set, attaches live instrumentation: the store's
 	// canonical metrics and events, plus per-device busy time, queue
 	// depth, and chunk counters. The recorder windows on the run's
@@ -121,8 +127,8 @@ func Run(cfg Config) (Result, error) {
 	if cfg.ReadServiceTime <= 0 {
 		cfg.ReadServiceTime = cfg.ServiceTime / 2
 	}
-	store := lss.New(cfg.Store, cfg.Policy)
-	ncols := store.Config().DataColumns + 1
+	geo := cfg.Store.GeometryDefaults()
+	ncols := geo.DataColumns + 1
 	fr, err := newFaultRun(&cfg, ncols)
 	if err != nil {
 		return Result{}, err
@@ -132,9 +138,10 @@ func Run(cfg Config) (Result, error) {
 	for i := range devices {
 		devices[i] = &device{ch: make(chan chunkJob, cfg.QueueDepth)}
 	}
+	var deps lss.Deps
 	if ts := cfg.Telemetry; ts != nil {
 		fr.registerTelemetry(ts)
-		store.SetTelemetry(ts)
+		deps.Telemetry = ts
 		if p, ok := cfg.Policy.(interface {
 			SetTelemetry(*telemetry.Set)
 		}); ok {
@@ -187,7 +194,8 @@ func Run(cfg Config) (Result, error) {
 	var stripeFill int
 	var parityRow int64
 	var parityChunks int64
-	store.SetChunkSink(func(w lss.ChunkWrite) {
+	chunkBytes := geo.ChunkBytes()
+	deps.Sink = func(w lss.ChunkWrite) {
 		parityCol := int(parityRow % int64(ncols))
 		col := stripeFill
 		if col >= parityCol {
@@ -196,17 +204,28 @@ func Run(cfg Config) (Result, error) {
 		fr.placeChunk(devices, col, chunkJob{payload: w.PayloadBytes, pad: w.PadBytes})
 		stripeFill++
 		if stripeFill == ncols-1 {
-			fr.placeChunk(devices, parityCol, chunkJob{payload: int64(store.Config().ChunkBytes())})
+			fr.placeChunk(devices, parityCol, chunkJob{payload: chunkBytes})
 			parityChunks++
 			stripeFill = 0
 			parityRow++
 		}
-	})
+	}
+	store := lss.New(cfg.Store, cfg.Policy, deps)
+	bgStep := 0
+	if cfg.Store.BackgroundGC {
+		bgStep = cfg.GCSliceUnits
+		if bgStep <= 0 {
+			bgStep = 32
+		}
+	}
 
 	if cfg.Fill {
 		for lba := int64(0); lba < cfg.Store.UserBlocks; lba++ {
 			if err := store.WriteBlock(lba, sim.Time(time.Since(start))); err != nil {
 				return Result{}, err
+			}
+			if bgStep > 0 {
+				store.GCStep(bgStep)
 			}
 		}
 	}
@@ -259,6 +278,9 @@ func Run(cfg Config) (Result, error) {
 					// survivor instead: the XOR reconstruction path.
 					mu.Lock()
 					store.Read(lba, 1, sim.Time(time.Since(start)))
+					if bgStep > 0 {
+						store.GCStep(bgStep)
+					}
 					mu.Unlock()
 					target := rng.Intn(len(devices))
 					if fr.degradedTarget(target) {
@@ -274,6 +296,9 @@ func Run(cfg Config) (Result, error) {
 				} else {
 					mu.Lock()
 					err := store.WriteBlock(lba, sim.Time(time.Since(start)))
+					if err == nil && bgStep > 0 {
+						store.GCStep(bgStep)
+					}
 					mu.Unlock()
 					if err != nil {
 						panic(err) // LBAs are generated in range; this is a bug
@@ -294,6 +319,9 @@ func Run(cfg Config) (Result, error) {
 	rebuildWG.Wait()
 	measureEnd := time.Now() // phase accounting stops before the drain
 	mu.Lock()
+	for bgStep > 0 && store.GCActive() {
+		store.GCStep(1 << 30) // settle in-flight GC before the drain
+	}
 	store.Drain(sim.Time(time.Since(start)))
 	mu.Unlock()
 	for _, d := range devices {

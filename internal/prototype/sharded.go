@@ -124,13 +124,12 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 			return nil, fmt.Errorf("prototype: shard %d policy: %w", i, err)
 		}
 		scfg.Policy = pol
-		eng, err := newEngineOn(scfg, s.devs, i, false)
+		eng, err := newEngineOn(scfg, s.devs, i, false, s.gateFor(i))
 		if err != nil {
 			s.teardown()
 			return nil, fmt.Errorf("prototype: shard %d: %w", i, err)
 		}
 		s.shards = append(s.shards, eng)
-		s.installGate(i, eng)
 	}
 
 	if fill {
@@ -165,12 +164,14 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	return s, nil
 }
 
-// installGate wires the cross-shard GC scheduler into one shard's
-// store: a GC cycle must hold the single token for its duration, so at
-// most one shard relocates segments at a time and the device columns
-// never see two shards' GC traffic stacked.
-func (s *Sharded) installGate(i int, eng *Engine) {
-	eng.store.SetGCGate(func() func() {
+// gateFor builds the cross-shard GC admission gate for one shard,
+// wired through the store's construction Deps: a synchronous GC cycle
+// must hold the single token for its duration, so at most one shard
+// relocates segments at a time and the device columns never see two
+// shards' GC traffic stacked. Under background GC the store ignores
+// the gate — the pacer itself serializes slices across shards.
+func (s *Sharded) gateFor(i int) func() (release func()) {
+	return func() (release func()) {
 		select {
 		case s.gate <- struct{}{}:
 		default:
@@ -180,7 +181,7 @@ func (s *Sharded) installGate(i int, eng *Engine) {
 			s.gateWaitNS[i].Add(time.Since(t0).Nanoseconds())
 		}
 		return func() { <-s.gate }
-	})
+	}
 }
 
 // runTicker advances the shared recorder on the wall-derived clock.
@@ -237,6 +238,21 @@ func (s *Sharded) Now() sim.Time { return s.devs.now() }
 
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// GCShards returns each shard engine as an independent GC-stepping
+// target; the pacer serializes slices across them, which is the
+// background-mode replacement for the one-token gate.
+func (s *Sharded) GCShards() []GCShard {
+	out := make([]GCShard, len(s.shards))
+	for i, e := range s.shards {
+		out[i] = e
+	}
+	return out
+}
+
+// QueueFill reports the fill fraction of the most backlogged column of
+// the shared device array.
+func (s *Sharded) QueueFill() float64 { return s.devs.queueFill() }
 
 // ShardOf maps a global LBA to its owning shard.
 func (s *Sharded) ShardOf(lba int64) int {
@@ -464,6 +480,8 @@ func (s *Sharded) Stats() EngineStats {
 		agg.FreeSegments += st.FreeSegments
 		agg.GCGateWaits += st.GCGateWaits
 		agg.GCGateWaitNS += st.GCGateWaitNS
+		agg.GCSlices += st.GCSlices
+		agg.GCEmergencyRuns += st.GCEmergencyRuns
 	}
 	agg.WA = 1
 	agg.EffectiveWA = 1

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adapt/internal/gcsched"
 	"adapt/internal/prototype"
 	"adapt/internal/server/wire"
 	"adapt/internal/telemetry"
@@ -60,6 +61,11 @@ type Config struct {
 	// Trace configures per-request tracing and tail-latency
 	// attribution; see TraceConfig.
 	Trace TraceConfig
+	// GCSched, when set, is the background GC pacer serving this
+	// engine; the STAT opcode reports its counters. The server neither
+	// owns nor drives it — the caller wires the pacer's P999 signal to
+	// TailP999 and stops it after Shutdown.
+	GCSched *gcsched.Controller
 }
 
 // metrics bundles the server's telemetry instruments; every field is
@@ -604,6 +610,8 @@ func (s *Server) stats() []wire.Stat {
 		{Name: "store_read_blocks", Value: est.ReadBlocks},
 		{Name: "store_trimmed_blocks", Value: est.TrimmedBlocks},
 		{Name: "store_gc_cycles", Value: est.GCCycles},
+		{Name: "store_gc_slices", Value: est.GCSlices},
+		{Name: "store_gc_emergency_runs", Value: est.GCEmergencyRuns},
 		{Name: "store_free_segments", Value: int64(est.FreeSegments)},
 		{Name: "store_wa_milli", Value: int64(est.WA * 1000)},
 		{Name: "store_eff_wa_milli", Value: int64(est.EffectiveWA * 1000)},
@@ -623,6 +631,18 @@ func (s *Server) stats() []wire.Stat {
 		wire.Stat{Name: "srv_batched_writes", Value: batchedWrites},
 		wire.Stat{Name: "geom_shards", Value: int64(s.eng.Shards())},
 	)
+	if s.trace != nil {
+		out = append(out, wire.Stat{Name: "srv_tail_p999_ns", Value: s.trace.tail.lastEstimateNS()})
+	}
+	if gs := s.cfg.GCSched; gs != nil {
+		gst := gs.Stats()
+		out = append(out,
+			wire.Stat{Name: "gcsched_slices", Value: gst.Slices},
+			wire.Stat{Name: "gcsched_units", Value: gst.Units},
+			wire.Stat{Name: "gcsched_tail_skips", Value: gst.TailSkips},
+			wire.Stat{Name: "gcsched_queue_skips", Value: gst.QueueSkips},
+		)
+	}
 	if sstats := s.eng.ShardStats(); len(sstats) > 1 {
 		for i, st := range sstats {
 			p := fmt.Sprintf("shard%d_", i)

@@ -2,10 +2,12 @@ package server
 
 import (
 	"fmt"
+	"math/bits"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adapt/internal/prototype"
@@ -46,6 +48,79 @@ type traceState struct {
 	mu      sync.Mutex
 	rings   map[*telemetry.SpanRing]struct{}
 	retired *telemetry.SpanRing
+
+	// tail is the windowed end-to-end latency meter behind
+	// Server.TailP999 — the GC pacer's feedback signal.
+	tail tailMeter
+}
+
+// tailBuckets spans 1 ns to ~2^41 ns (~37 min) in log2 buckets.
+const tailBuckets = 42
+
+// tailMinSamples is the smallest window worth a fresh quantile; below
+// it the meter keeps accumulating and answers with the last estimate.
+const tailMinSamples = 32
+
+// tailMeter estimates a *recent* latency quantile. The cumulative
+// stage histograms converge over a run and stop reflecting the
+// present, so the background-GC pacer — which needs to notice a tail
+// excursion and back off within milliseconds — reads this instead:
+// writers bump atomic log2 buckets, and each reader call computes the
+// quantile over the window of observations since the previous call
+// that consumed one.
+type tailMeter struct {
+	counts [tailBuckets]atomic.Int64
+
+	mu    sync.Mutex
+	prev  [tailBuckets]int64
+	lastQ int64
+}
+
+// observe records one end-to-end latency. Safe for concurrent use.
+func (t *tailMeter) observe(ns int64) {
+	if ns < 0 {
+		return
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= tailBuckets {
+		idx = tailBuckets - 1
+	}
+	t.counts[idx].Add(1)
+}
+
+// quantileNS returns the q-quantile (upper bucket bound) of the
+// observations since the last window consumption, or the previous
+// estimate while the window is too thin to be meaningful.
+func (t *tailMeter) quantileNS(q float64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cur [tailBuckets]int64
+	var total int64
+	for i := range cur {
+		cur[i] = t.counts[i].Load()
+		total += cur[i] - t.prev[i]
+	}
+	if total < tailMinSamples {
+		return t.lastQ
+	}
+	rank := int64(float64(total)*q + 0.5)
+	if rank > total {
+		rank = total
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range cur {
+		seen += cur[i] - t.prev[i]
+		if seen >= rank {
+			t.prev = cur
+			t.lastQ = int64(1) << uint(i) // upper bound: bucket i covers [2^(i-1), 2^i)
+			return t.lastQ
+		}
+	}
+	t.prev = cur
+	return t.lastQ
 }
 
 // newTraceState builds the tracing runtime and registers its latency
@@ -123,6 +198,7 @@ func (tr *traceState) retireRing(r *telemetry.SpanRing) {
 func (tr *traceState) finish(sp *telemetry.Span, now sim.Time, ring *telemetry.SpanRing) {
 	sp.MarkAt(telemetry.StageRespond, now)
 	total := sp.TotalNS()
+	tr.tail.observe(total)
 	durs := sp.StageDurs()
 	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
 		if durs[st] > 0 {
@@ -224,6 +300,27 @@ func attribute(sp *telemetry.Span, ivs []telemetry.Interval) (cause string, id i
 	default:
 		return "engine", 0, -1, -1, 0
 	}
+}
+
+// lastEstimateNS returns the most recent computed quantile without
+// consuming the current window.
+func (t *tailMeter) lastEstimateNS() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastQ
+}
+
+// TailP999 returns a windowed p999 of end-to-end request latency —
+// the tail observed since the previous call, not since the server
+// started. It is the feedback signal for the background GC pacer
+// (gcsched.Config.P999) and consumes the window, so wire exactly one
+// consumer; everything else should read the srv_tail_p999_ns STAT.
+// Returns 0 while tracing is disabled or before enough samples arrive.
+func (s *Server) TailP999() time.Duration {
+	if s.trace == nil {
+		return 0
+	}
+	return time.Duration(s.trace.tail.quantileNS(0.999))
 }
 
 // TraceSnapshot returns up to k attributed exemplars with end-to-end

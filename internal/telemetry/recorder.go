@@ -20,6 +20,13 @@ const (
 	MetricGCThrottled       = "lss_gc_throttled_cycles_total"
 	MetricSegmentsReclaimed = "lss_segments_reclaimed_total"
 	MetricGCScanned         = "lss_gc_scanned_blocks_total"
+	MetricGCSlices          = "lss_gc_slices_total"
+	MetricGCEmergency       = "lss_gc_emergency_runs_total"
+
+	MetricGCSchedSlices     = "gcsched_slices_total"
+	MetricGCSchedUnits      = "gcsched_units_total"
+	MetricGCSchedTailSkips  = "gcsched_tail_skips_total"
+	MetricGCSchedQueueSkips = "gcsched_queue_skips_total"
 	MetricChunkFlushes      = "lss_chunk_flushes_total"
 	MetricFreeSegments      = "lss_free_segments"
 	MetricSLAViolations     = "lss_sla_violations_total"

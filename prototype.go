@@ -122,7 +122,7 @@ func RunPrototype(c PrototypeConfig) (PrototypeResult, error) {
 	if err != nil {
 		return PrototypeResult{}, err
 	}
-	res, err := prototype.Run(prototype.Config{
+	pcfg := prototype.Config{
 		Store:       cfg,
 		Policy:      pol,
 		Clients:     c.Clients,
@@ -134,7 +134,11 @@ func RunPrototype(c PrototypeConfig) (PrototypeResult, error) {
 		QueueDepth:  c.QueueDepth,
 		Seed:        c.Seed,
 		Fault:       c.Fault.internal(),
-	})
+	}
+	if c.Simulator.GCSched.Background {
+		pcfg.GCSliceUnits = c.Simulator.GCSched.sliceUnits()
+	}
+	res, err := prototype.Run(pcfg)
 	if err != nil {
 		return PrototypeResult{}, err
 	}
