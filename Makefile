@@ -14,16 +14,18 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzParseMSR \
 	./internal/trace:FuzzParseAli \
 	./internal/trace:FuzzParseTencent \
-	./internal/server/wire:FuzzWireDecode
+	./internal/server/wire:FuzzWireDecode \
+	./internal/segfile:FuzzSegfileRecover
 
-.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot gcsched-smoke serve-smoke trace-smoke scale-smoke
+.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot gcsched-smoke serve-smoke trace-smoke scale-smoke durable-smoke
 
 ## check: full local gate — vet, build, race-enabled test suite, the
 ## sharded-engine suite pinned to GOMAXPROCS=4, a short fuzz smoke of
 ## every target on top of the checked-in corpora, the background-GC
-## tail gate, and end-to-end boots of the network service (plain and
+## tail gate, the durability gate (crash-point sweep plus SIGKILL
+## restart), and end-to-end boots of the network service (plain and
 ## traced).
-check: vet build race race-sharded fuzz gcsched-smoke serve-smoke trace-smoke
+check: vet build race race-sharded fuzz gcsched-smoke durable-smoke serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -78,6 +80,7 @@ bench-telemetry:
 ##   jq -r 'select(.Action=="output") | .Output' BENCH_<date>.json
 bench-snapshot:
 	{ printf '{"Action":"env","GOMAXPROCS":%d,"Date":"%s"}\n' "$$(nproc)" "$(BENCH_DATE)" && \
+	  $(GO) run ./cmd/fscap && \
 	  $(GO) test -json -run '^$$' -bench 'BenchmarkFig8WA|BenchmarkAblation|BenchmarkFault' -benchmem -benchtime 1x -count 1 . && \
 	  $(GO) test -json -run '^$$' -bench BenchmarkGCVictimSelection -benchmem -benchtime 200x -count 1 -cpu 1,2,4,8 ./internal/lss && \
 	  $(GO) test -json -run '^$$' -bench BenchmarkServerRoundtrip -benchmem -benchtime 2000x -count 1 -cpu 1,2,4,8 ./internal/server && \
@@ -98,6 +101,16 @@ gcsched-smoke:
 		exit 1; \
 	fi
 	@echo "gcsched-smoke OK"
+
+## durable-smoke: the durability gate under the race detector — the
+## exhaustive crash-point sweep (kill the filesystem at every syscall
+## boundary, recovery must match the acked-transition oracle exactly),
+## the relaxed-sync sweep, the durable engine/server round trips, and
+## the real SIGKILL process-restart e2e.
+durable-smoke:
+	$(GO) test -race -run 'TestCrashPointSweep|TestCrashSweepRelaxedSync|TestDurable|TestEngineDurable|TestShardedDurable' \
+		./internal/segfile ./internal/prototype ./internal/server
+	@echo "durable-smoke OK"
 
 ## serve-smoke: boot the network service end-to-end — adaptserve on a
 ## loopback port, a short adaptload burst, a telemetry scrape, and a

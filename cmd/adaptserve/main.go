@@ -8,6 +8,7 @@
 //
 //	adaptserve -addr 127.0.0.1:9750 -telemetry 127.0.0.1:9751
 //	adaptserve -volumes 8 -policy adapt -batch=false
+//	adaptserve -data-dir /var/lib/adapt -durable-sync always
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"adapt/internal/harness"
 	"adapt/internal/lss"
 	"adapt/internal/prototype"
+	"adapt/internal/segfile"
 	"adapt/internal/server"
 	"adapt/internal/telemetry"
 )
@@ -32,7 +35,8 @@ import (
 func main() {
 	cmd := cli.New("adaptserve",
 		"adaptserve -addr 127.0.0.1:9750 -telemetry 127.0.0.1:9751",
-		"adaptserve -volumes 8 -policy adapt -batch=false")
+		"adaptserve -volumes 8 -policy adapt -batch=false",
+		"adaptserve -data-dir /var/lib/adapt -durable-sync always")
 	fs := cmd.Flags()
 	addr := fs.String("addr", "127.0.0.1:9750", "block service listen address")
 	telAddr := fs.String("telemetry", "127.0.0.1:9751", "telemetry HTTP listen address (empty disables)")
@@ -51,6 +55,9 @@ func main() {
 	gcSliceUnits := fs.Int("gc-slice-units", 0, "pacer relocation budget per tick at urgency 1 (0: gcsched default)")
 	gcIntervalUS := fs.Int("gc-interval-us", 0, "pacer tick interval in microseconds (0: gcsched default)")
 	gcTargetUS := fs.Int("gc-target-p999-us", 2000, "back off non-urgent GC while traced p999 exceeds this (0 or -trace=false disables)")
+	dataDir := fs.String("data-dir", "", "durable root: <dir>/engine holds the segment log, <dir>/volumes the tenant payload files; reboot recovers both (empty: RAM only)")
+	durableSync := fs.String("durable-sync", "seal", "segment-log fsync discipline: always (every chunk append) | seal (segment seal and checkpoint)")
+	odirect := fs.Bool("odirect", false, "open segment files with O_DIRECT where the filesystem supports it")
 	cmd.Parse(os.Args[1:])
 
 	if fs.NArg() != 0 {
@@ -75,6 +82,23 @@ func main() {
 	if _, err := harness.BuildPolicy(*policy, cfg); err != nil {
 		cmd.UsageErrorf("%v", err)
 	}
+	var durable *segfile.Options
+	if *dataDir != "" {
+		var mode segfile.SyncMode
+		switch *durableSync {
+		case "always":
+			mode = segfile.SyncAlways
+		case "seal":
+			mode = segfile.SyncOnSeal
+		default:
+			cmd.UsageErrorf("unknown -durable-sync %q (want always|seal)", *durableSync)
+		}
+		durable = &segfile.Options{
+			Dir:     filepath.Join(*dataDir, "engine"),
+			Sync:    mode,
+			ODirect: *odirect,
+		}
+	}
 
 	ts := telemetry.New(telemetry.Options{})
 	eng, err := prototype.NewSharded(prototype.ShardedConfig{
@@ -82,6 +106,7 @@ func main() {
 			Store:       cfg,
 			ServiceTime: time.Duration(*serviceUS) * time.Microsecond,
 			Telemetry:   ts,
+			Durable:     durable,
 		},
 		Shards: *shards,
 		PolicyFactory: func(shard int, scfg lss.Config) (lss.Policy, error) {
@@ -112,9 +137,14 @@ func main() {
 		ctl, err = gcsched.New(gcfg, sh)
 		cmd.Check(err)
 	}
+	volDir := ""
+	if *dataDir != "" {
+		volDir = filepath.Join(*dataDir, "volumes")
+	}
 	srv, err = server.New(server.Config{
 		Engine:       eng,
 		Volumes:      *volumes,
+		DataDir:      volDir,
 		MaxInflight:  *maxInflight,
 		Batch:        *batch,
 		BatchTimeout: time.Duration(*batchUS) * time.Microsecond,
@@ -148,6 +178,14 @@ func main() {
 	}
 	fmt.Printf("serving %d volumes × %d blocks (%s policy, %d shards, batch=%v, gc=%s) on %s\n",
 		srv.Volumes(), srv.VolumeBlocks(), *policy, eng.Shards(), *batch, gcMode, ln.Addr())
+	if *dataDir != "" {
+		if ds, ok := eng.DurableStats(); ok && eng.Recovered() {
+			fmt.Printf("durable: recovered %d segments (%d live blocks) from %s\n",
+				ds.RecoveredSegments, ds.RecoveredBlocks, *dataDir)
+		} else {
+			fmt.Printf("durable: fresh log in %s (sync=%s, odirect=%v)\n", *dataDir, *durableSync, *odirect)
+		}
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

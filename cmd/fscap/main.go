@@ -1,0 +1,37 @@
+// Command fscap probes a directory's durable-path capability — the
+// filesystem type and whether aligned O_DIRECT writes succeed there —
+// and prints one JSON line. bench-snapshot records it alongside
+// benchmark output, because durable-path numbers from an O_DIRECT ext4
+// host and a buffered overlayfs container are not comparable.
+//
+// Usage:
+//
+//	fscap
+//	fscap -dir /var/lib/adapt
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"adapt/internal/cli"
+	"adapt/internal/segfile"
+)
+
+func main() {
+	cmd := cli.New("fscap", "fscap", "fscap -dir /var/lib/adapt")
+	fs := cmd.Flags()
+	dir := fs.String("dir", ".", "directory to probe")
+	cmd.Parse(os.Args[1:])
+	if fs.NArg() != 0 {
+		cmd.UsageErrorf("unexpected arguments: %v", fs.Args())
+	}
+	out, err := json.Marshal(struct {
+		Action string `json:"Action"`
+		Dir    string `json:"dir"`
+		segfile.Capability
+	}{Action: "fscap", Dir: *dir, Capability: segfile.Probe(*dir)})
+	cmd.Check(err)
+	fmt.Println(string(out))
+}

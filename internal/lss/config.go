@@ -190,6 +190,15 @@ func (cfg Config) withDefaults(groups int) Config {
 	return cfg
 }
 
+// TotalSegments returns the physical segment count a store built from
+// this configuration with a groups-group policy will have. External
+// durable backends (internal/segfile) use it to synthesize recovery
+// images that match the store New would build.
+func (cfg Config) TotalSegments(groups int) int {
+	c := cfg.withDefaults(groups)
+	return c.totalSegments(groups)
+}
+
 // SegmentBlocks returns blocks per segment.
 func (cfg Config) SegmentBlocks() int { return cfg.ChunkBlocks * cfg.SegmentChunks }
 

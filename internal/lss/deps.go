@@ -33,6 +33,13 @@ type Deps struct {
 	// slices itself and a per-cycle token would be held across
 	// preemption pauses.
 	GCGate func() (release func())
+	// Durable, when set, persists segment lifecycle transitions and
+	// flushed chunks beneath the in-memory image (internal/segfile is
+	// the file-backed implementation). Construction-time wiring only:
+	// a durable backend must observe every transition from the first
+	// append, so it cannot be attached through Reconfigure. The first
+	// backend error latches the store (see Store.DurableErr).
+	Durable DurableLog
 	// Telemetry attaches live instrumentation (see attachTelemetry for
 	// the contract). At most one set per store.
 	Telemetry *telemetry.Set
@@ -65,6 +72,7 @@ func (s *Store) applyDeps(deps []Deps) {
 	s.auditSink = d.AuditSink
 	s.clock = d.Clock
 	s.gcGate = d.GCGate
+	s.durable = d.Durable
 	s.onReclaim = d.ReclaimObserver
 	if d.Sharded {
 		s.shard = int32(d.Shard)

@@ -1,0 +1,131 @@
+package lss
+
+import (
+	"adapt/internal/sim"
+)
+
+// DurableLog is the persistence seam beneath the store: a backend that
+// records segment lifecycle transitions and flushed chunks durably
+// (internal/segfile implements it over a directory of segment files).
+// The store calls it synchronously from inside its own mutation paths,
+// so implementations must not call back into the store.
+//
+// The contract mirrors the store's in-memory durability model exactly:
+// a chunk is the unit of durability (AppendChunk fires once per flushed
+// chunk, never for the buffered open-chunk tail), segments seal
+// write-ahead (every chunk of a segment is appended — and, under a
+// strict sync mode, synced — before SealSegment runs), and FreeSegment
+// destroys the durable image of a reclaimed victim only after GC has
+// migrated its live blocks into chunks already appended through this
+// same interface. A nil error from a call means the transition is
+// durable to the backend's configured sync discipline; the first
+// non-nil error latches the store read-only-durable (see DurableErr).
+type DurableLog interface {
+	// OpenSegment records that segment id began a new incarnation for
+	// group at write clock born. It is called before any AppendChunk
+	// for the incarnation.
+	OpenSegment(id int, group GroupID, born sim.WriteClock) error
+	// AppendChunk records one flushed chunk. The slices in c alias
+	// store memory and must not be retained past the call.
+	AppendChunk(c DurableChunk) error
+	// SealSegment records that segment id sealed at write clock
+	// sealedW. All SegmentChunks chunks have been appended first.
+	SealSegment(id int, sealedW sim.WriteClock) error
+	// FreeSegment destroys the durable image of segment id after GC
+	// reclaimed it. After it returns nil, recovery must never surface
+	// the incarnation's slots again.
+	FreeSegment(id int) error
+	// Checkpoint persists the store clocks (write clock, append
+	// sequence, simulated time) as a recovery floor.
+	Checkpoint(w sim.WriteClock, appendSeq int64, now sim.Time) error
+}
+
+// DurableChunk is one flushed chunk as handed to DurableLog.AppendChunk:
+// the physical location, the clocks at flush time, and the per-slot
+// address encoding and append versions. LBAs uses the store's slot
+// encoding (primary addresses >= 0, padding, shadow copies); decode
+// with DecodeSlot. len(LBAs) == len(Vers) == Config.ChunkBlocks.
+type DurableChunk struct {
+	Segment int
+	Chunk   int
+	Group   GroupID
+	W       sim.WriteClock
+	Now     sim.Time
+	LBAs    []int64
+	Vers    []int64
+}
+
+// DecodeSlot decodes a slot value from DurableChunk.LBAs (or a
+// checkpoint image): the block address it refers to — primary or
+// shadow — and whether the slot carries data at all (padding does
+// not).
+func DecodeSlot(v int64) (lba int64, ok bool) { return decodeSlot(v) }
+
+// DurableErr returns the latched durable-backend error, nil while the
+// backend is healthy (or absent). The first DurableLog call that fails
+// latches the store: the in-memory image stays internally consistent,
+// but every subsequent Write/WriteBlock/Trim returns the error so no
+// further acknowledgements can outrun what the backend persisted.
+func (s *Store) DurableErr() error { return s.durableErr }
+
+// durableOpen notifies the backend of a fresh segment incarnation.
+func (s *Store) durableOpen(seg *segment) {
+	if s.durable == nil || s.durableErr != nil {
+		return
+	}
+	if err := s.durable.OpenSegment(seg.id, seg.group, seg.born); err != nil {
+		s.durableErr = err
+	}
+}
+
+// durableAppend hands gr's just-flushed chunk to the backend.
+func (s *Store) durableAppend(gr *group) {
+	if s.durable == nil || s.durableErr != nil {
+		return
+	}
+	seg := gr.open
+	ci := seg.written/s.chunkBlocks - 1
+	start := ci * s.chunkBlocks
+	err := s.durable.AppendChunk(DurableChunk{
+		Segment: seg.id,
+		Chunk:   ci,
+		Group:   gr.id,
+		W:       s.w,
+		Now:     s.now,
+		LBAs:    seg.lbas[start : start+s.chunkBlocks],
+		Vers:    seg.vers[start : start+s.chunkBlocks],
+	})
+	if err != nil {
+		s.durableErr = err
+	}
+}
+
+// durableSeal notifies the backend that seg sealed.
+func (s *Store) durableSeal(seg *segment) {
+	if s.durable == nil || s.durableErr != nil {
+		return
+	}
+	if err := s.durable.SealSegment(seg.id, seg.sealedW); err != nil {
+		s.durableErr = err
+	}
+}
+
+// durableFree notifies the backend that seg was reclaimed.
+func (s *Store) durableFree(seg *segment) {
+	if s.durable == nil || s.durableErr != nil {
+		return
+	}
+	if err := s.durable.FreeSegment(seg.id); err != nil {
+		s.durableErr = err
+	}
+}
+
+// durableCheckpoint persists the clock floor.
+func (s *Store) durableCheckpoint() {
+	if s.durable == nil || s.durableErr != nil {
+		return
+	}
+	if err := s.durable.Checkpoint(s.w, s.appendSeq, s.now); err != nil {
+		s.durableErr = err
+	}
+}

@@ -650,6 +650,7 @@ func (s *Store) reclaimFinish(seg *segment, c *gcCycle) {
 	seg.state = segFree
 	s.free = append(s.free, seg.id)
 	s.metrics.SegmentsReclaimed++
+	s.durableFree(seg)
 }
 
 // paranoidCheck runs CheckInvariants and panics on a violation; it is

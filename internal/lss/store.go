@@ -154,6 +154,12 @@ type Store struct {
 	// shard label and GC intervals carry it, so per-shard GC activity
 	// stays attributable after aggregation.
 	shard int32
+	// durable, when set, persists segment lifecycle transitions and
+	// flushed chunks (internal/segfile); durableErr latches the first
+	// backend failure and fails every subsequent mutation, so no
+	// acknowledgement can outrun the durable image.
+	durable    DurableLog
+	durableErr error
 	// gcGate, when set, is invoked at the start of every synchronous
 	// GC cycle and the returned release when the cycle ends. The
 	// sharded engine serializes cross-shard GC through it so no two
@@ -314,6 +320,9 @@ func (s *Store) Write(lba int64, blocks int, now sim.Time) error {
 
 // WriteBlock appends one user-written block.
 func (s *Store) WriteBlock(lba int64, now sim.Time) error {
+	if s.durableErr != nil {
+		return s.durableErr
+	}
 	if lba < 0 || lba >= s.cfg.UserBlocks {
 		return fmt.Errorf("%w: %d (capacity %d)", ErrBadLBA, lba, s.cfg.UserBlocks)
 	}
@@ -338,6 +347,9 @@ func (s *Store) Read(lba int64, blocks int, now sim.Time) {
 // garbage immediately, reclaimable by GC without migration. Trimming
 // unmapped blocks is a no-op, as on real devices.
 func (s *Store) Trim(lba int64, blocks int, now sim.Time) error {
+	if s.durableErr != nil {
+		return s.durableErr
+	}
 	if lba < 0 || lba+int64(blocks) > s.cfg.UserBlocks {
 		return fmt.Errorf("%w: trim [%d,%d)", ErrBadLBA, lba, lba+int64(blocks))
 	}
@@ -366,6 +378,7 @@ func (s *Store) Drain(now sim.Time) {
 			s.padFlush(gr, nil, s.now, telemetry.FlushDrain)
 		}
 	}
+	s.durableCheckpoint()
 	s.rec.Finish(s.now)
 	if s.cfg.Paranoid {
 		s.paranoidCheck("at Drain")
@@ -595,6 +608,7 @@ func (s *Store) flushChunk(gr *group, padBlocks int, at sim.Time) {
 			s.auditSink(w)
 		}
 	}
+	s.durableAppend(gr)
 	gr.armTime = -1
 	gr.persisted = 0
 	gr.latCounted = 0
@@ -705,6 +719,7 @@ func (s *Store) ensureOpen(gr *group) *segment {
 	gr.armTime = -1
 	gr.persisted = 0
 	gr.latCounted = 0
+	s.durableOpen(seg)
 	return seg
 }
 
@@ -722,4 +737,5 @@ func (s *Store) seal(gr *group) {
 	if s.tracer != nil {
 		s.tracer.Emit(telemetry.SegmentSeal(s.now, int(gr.id), seg.id, seg.valid))
 	}
+	s.durableSeal(seg)
 }

@@ -8,6 +8,7 @@ import (
 
 	"adapt/internal/checker"
 	"adapt/internal/lss"
+	"adapt/internal/segfile"
 	"adapt/internal/sim"
 	"adapt/internal/telemetry"
 )
@@ -54,6 +55,11 @@ type Ingest interface {
 	// queue (0 empty, 1 full) — the pacer's backpressure signal. Safe
 	// without any engine lock.
 	QueueFill() float64
+
+	// DurableStats returns the durable-backend counters (summed across
+	// shards, tail quantiles taken as the worst shard) and whether a
+	// durable backend is attached at all.
+	DurableStats() (segfile.Stats, bool)
 
 	Drain() error
 	Close() error
@@ -209,6 +215,12 @@ type Engine struct {
 	parityRow    int64
 	parityChunks int64
 
+	// durable is the file-backed segment backend, nil for a pure
+	// in-memory engine; recovered marks that construction rolled the
+	// store forward from it instead of starting empty.
+	durable   *segfile.Store
+	recovered bool
+
 	// Request-tracing state (all guarded by mu). timing arms per-op
 	// accounting of time blocked on device queues; sinkNS accumulates
 	// it for the op in flight. itv receives degraded-mode interference
@@ -255,6 +267,16 @@ type EngineConfig struct {
 	// of every durable block. Memory grows with chunks written — meant
 	// for tests, not long-running servers.
 	VerifyMirror bool
+	// Durable, when set, persists the store through a file-backed
+	// segment log (internal/segfile): every flushed chunk, seal, and
+	// reclaim is written through before acknowledgement per the
+	// configured sync discipline, and construction recovers any state
+	// the directory already holds (skipping Fill for a recovered
+	// store). The engine completes the options itself — Geometry,
+	// Telemetry, and shard labels are overwritten from the engine
+	// configuration. Verify cannot adopt a recovered store: combining
+	// it with a non-empty directory is a construction error.
+	Durable *segfile.Options
 }
 
 // ErrEngineClosed is returned by operations on a closed engine.
@@ -357,7 +379,35 @@ func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool, gate f
 			da.registerTelemetry(ts)
 		}
 	}
-	e.store = lss.New(cfg.Store, cfg.Policy, deps)
+	if cfg.Durable != nil {
+		dopts := *cfg.Durable
+		dopts.Geometry = geo
+		dopts.Telemetry = cfg.Telemetry
+		dopts.Sharded, dopts.Shard = shard >= 0, shard
+		sf, err := segfile.Open(dopts)
+		if err != nil {
+			e.abort()
+			return nil, fmt.Errorf("prototype: durable backend: %w", err)
+		}
+		e.durable = sf
+		deps.Durable = sf
+		if sf.HasData() {
+			if cfg.Verify {
+				e.abort()
+				return nil, fmt.Errorf("prototype: Verify cannot adopt a recovered store; start from an empty data directory")
+			}
+			store, _, err := sf.Recover(cfg.Store, cfg.Policy, deps)
+			if err != nil {
+				e.abort()
+				return nil, fmt.Errorf("prototype: durable recovery: %w", err)
+			}
+			e.store = store
+			e.recovered = true
+		}
+	}
+	if e.store == nil {
+		e.store = lss.New(cfg.Store, cfg.Policy, deps)
+	}
 	if cfg.Verify {
 		o, err := checker.New(e.store, checker.Options{Mirror: cfg.VerifyMirror})
 		if err != nil {
@@ -366,7 +416,7 @@ func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool, gate f
 		}
 		e.oracle = o
 	}
-	if cfg.Fill {
+	if cfg.Fill && !e.recovered {
 		for lba := int64(0); lba < e.store.Config().UserBlocks; lba++ {
 			if err := e.Write(lba, 1); err != nil {
 				e.abort()
@@ -375,6 +425,19 @@ func newEngineOn(cfg EngineConfig, da *deviceArray, shard int, owns bool, gate f
 		}
 	}
 	return e, nil
+}
+
+// Recovered reports whether construction rolled the store forward from
+// a durable backend instead of starting empty.
+func (e *Engine) Recovered() bool { return e.recovered }
+
+// DurableStats returns the durable-backend counters; ok is false for a
+// pure in-memory engine.
+func (e *Engine) DurableStats() (segfile.Stats, bool) {
+	if e.durable == nil {
+		return segfile.Stats{}, false
+	}
+	return e.durable.Stats(), true
 }
 
 // abort stops the engine (and, if it owns them, the device workers)
@@ -386,6 +449,9 @@ func (e *Engine) abort() {
 	e.mu.Unlock()
 	if e.ownsDevs {
 		e.devs.close()
+	}
+	if e.durable != nil {
+		_ = e.durable.Close()
 	}
 }
 
@@ -774,6 +840,13 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	if e.ownsDevs {
 		e.devs.close()
+	}
+	if e.durable != nil {
+		// Drain above already checkpointed through the DurableLog hook;
+		// this syncs any remaining dirty tail and releases the handles.
+		if derr := e.durable.Close(); err == nil && derr != nil {
+			err = fmt.Errorf("prototype: durable close: %w", derr)
+		}
 	}
 	if ierr := e.store.CheckInvariants(); err == nil && ierr != nil {
 		err = fmt.Errorf("prototype: engine close invariants: %w", ierr)

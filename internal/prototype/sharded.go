@@ -2,12 +2,14 @@ package prototype
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adapt/internal/lss"
+	"adapt/internal/segfile"
 	"adapt/internal/sim"
 	"adapt/internal/telemetry"
 )
@@ -118,6 +120,15 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		scfg.Fill = false // filled in parallel below
 		scfg.Store = geo
 		scfg.Store.UserBlocks = s.sizes[i]
+		if ecfg.Durable != nil {
+			if ecfg.Durable.Dir == "" {
+				s.teardown()
+				return nil, fmt.Errorf("prototype: sharded durable backend requires Options.Dir (one subdirectory per shard)")
+			}
+			dopts := *ecfg.Durable
+			dopts.Dir = filepath.Join(ecfg.Durable.Dir, fmt.Sprintf("shard-%d", i))
+			scfg.Durable = &dopts
+		}
 		pol, err := cfg.PolicyFactory(i, scfg.Store)
 		if err != nil {
 			s.teardown()
@@ -136,6 +147,11 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		errs := make([]error, n)
 		var wg sync.WaitGroup
 		for i, eng := range s.shards {
+			if eng.Recovered() {
+				// The shard rolled forward from its durable directory;
+				// refilling would overwrite the recovered state.
+				continue
+			}
 			wg.Add(1)
 			go func(i int, eng *Engine) {
 				defer wg.Done()
@@ -494,6 +510,49 @@ func (s *Sharded) Stats() EngineStats {
 		agg.PaddingRatio = float64(agg.PaddingBlocks) / float64(total)
 	}
 	return agg
+}
+
+// DurableStats sums the shard backends' counters (tail quantiles take
+// the worst shard); ok is false when no shard has a durable backend.
+func (s *Sharded) DurableStats() (segfile.Stats, bool) {
+	var agg segfile.Stats
+	ok := false
+	for _, e := range s.shards {
+		st, has := e.DurableStats()
+		if !has {
+			continue
+		}
+		ok = true
+		agg.SyncedSegments += st.SyncedSegments
+		agg.Fsyncs += st.Fsyncs
+		agg.Checkpoints += st.Checkpoints
+		agg.BytesWritten += st.BytesWritten
+		agg.RecoveredSegments += st.RecoveredSegments
+		agg.RecoveredBlocks += st.RecoveredBlocks
+		agg.TornRecords += st.TornRecords
+		agg.CorruptFiles += st.CorruptFiles
+		if st.FsyncP50NS > agg.FsyncP50NS {
+			agg.FsyncP50NS = st.FsyncP50NS
+		}
+		if st.FsyncP99NS > agg.FsyncP99NS {
+			agg.FsyncP99NS = st.FsyncP99NS
+		}
+		if st.FsyncP999NS > agg.FsyncP999NS {
+			agg.FsyncP999NS = st.FsyncP999NS
+		}
+	}
+	return agg, ok
+}
+
+// Recovered reports whether any shard rolled forward from its durable
+// directory.
+func (s *Sharded) Recovered() bool {
+	for _, e := range s.shards {
+		if e.Recovered() {
+			return true
+		}
+	}
+	return false
 }
 
 // Shard returns the i'th shard engine — the differential and recovery

@@ -1,0 +1,23 @@
+package segfile
+
+// Capability describes what the host filesystem offers the durable
+// path. bench-snapshot records it alongside benchmark output so
+// durable-path numbers are comparable across containers (an O_DIRECT
+// ext4 host and a buffered overlayfs container measure very different
+// things).
+type Capability struct {
+	// FSType is the filesystem type name backing the probed directory
+	// ("ext4", "tmpfs", "overlayfs", ...), "unknown" when the platform
+	// offers no statfs.
+	FSType string `json:"fs_type"`
+	// ODirect reports whether an aligned O_DIRECT write succeeds there.
+	ODirect bool `json:"o_direct"`
+}
+
+// Probe reports dir's durable-path capability.
+func Probe(dir string) Capability {
+	return Capability{
+		FSType:  fsTypeName(dir),
+		ODirect: probeODirect(dir),
+	}
+}

@@ -1,0 +1,162 @@
+package segfile_test
+
+import (
+	"errors"
+	"testing"
+
+	"adapt/internal/checker"
+	"adapt/internal/lss"
+	"adapt/internal/segfile"
+)
+
+// replayToCrash drives the deterministic workload against a CrashFS
+// with the given syscall budget and returns the acked-transition
+// oracle. Budget < 0 never crashes (the counting run).
+func replayToCrash(t *testing.T, cfg lss.Config, budget int) (*segfile.CrashFS, *checker.DurableLedger, bool) {
+	t.Helper()
+	crash := segfile.NewCrashFS(segfile.NewMemFS(), budget)
+	opts := segfile.Options{
+		FS:                   crash,
+		Sync:                 segfile.SyncAlways,
+		Geometry:             cfg.GeometryDefaults(),
+		CheckpointEverySeals: 4,
+	}
+	sf, err := segfile.Open(opts)
+	if err != nil {
+		// The crash point landed inside Open itself (the directory
+		// scan); nothing was ever acked.
+		if !errors.Is(err, segfile.ErrCrashed) {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+		return crash, checker.NewDurableLedger(nil), false
+	}
+	ledger := checker.NewDurableLedger(sf)
+	s := lss.New(cfg, newPolicy(t, cfg), lss.Deps{Durable: ledger})
+	completed := driveWorkload(t, s, workloadOps)
+	if !completed && !errors.Is(s.DurableErr(), segfile.ErrCrashed) {
+		t.Fatalf("budget %d: latched %v, want ErrCrashed", budget, s.DurableErr())
+	}
+	return crash, ledger, completed
+}
+
+// recoverImage opens the post-crash durable image and rolls it forward
+// into a live store (a fresh store when the image is empty).
+func recoverImage(t *testing.T, cfg lss.Config, crash *segfile.CrashFS) *lss.Store {
+	t.Helper()
+	opts := segfile.Options{
+		FS:       crash.Image(),
+		Sync:     segfile.SyncAlways,
+		Geometry: cfg.GeometryDefaults(),
+	}
+	sf, err := segfile.Open(opts)
+	if err != nil {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	if !sf.HasData() {
+		return lss.New(cfg, newPolicy(t, cfg))
+	}
+	rec, _, err := sf.Recover(cfg, newPolicy(t, cfg))
+	if err != nil {
+		t.Fatalf("post-crash recover: %v", err)
+	}
+	return rec
+}
+
+// TestCrashPointSweep is the exhaustive crash harness: it counts every
+// filesystem syscall the workload issues under the sync-per-append
+// discipline, then replays the workload once per syscall boundary,
+// killing the filesystem at exactly that call. For every crash point,
+// recovery from the durable image must (a) succeed, (b) produce
+// exactly the mapping the acked-transition oracle predicts — no lost
+// acks, no resurrected frees — and (c) pass the store invariants.
+func TestCrashPointSweep(t *testing.T) {
+	cfg := smallCfg()
+
+	count, _, completed := replayToCrash(t, cfg, -1)
+	if !completed {
+		t.Fatal("counting run did not complete")
+	}
+	n := count.Calls()
+	if n < 300 {
+		t.Fatalf("workload issued only %d syscalls; harness coverage too thin", n)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	for k := 1; k <= n; k += stride {
+		crash, ledger, completed := replayToCrash(t, cfg, k)
+		if completed {
+			t.Fatalf("budget %d of %d: workload completed without crashing", k, n)
+		}
+		if !crash.Crashed() {
+			t.Fatalf("budget %d: crash point never reached", k)
+		}
+		rec := recoverImage(t, cfg, crash)
+		if err := checker.CompareRecovered(rec, ledger.ExpectedDurable()); err != nil {
+			t.Fatalf("crash at syscall %d of %d: %v", k, n, err)
+		}
+		if err := rec.CheckInvariants(); err != nil {
+			t.Fatalf("crash at syscall %d of %d: recovered invariants: %v", k, n, err)
+		}
+	}
+}
+
+// TestCrashSweepRelaxedSync sweeps crash points under SyncOnSeal,
+// where acknowledged appends may legally be lost. The exactness oracle
+// does not apply; instead recovery must stay safe: it succeeds, passes
+// invariants, and never surfaces data that was not acked or a version
+// newer than the acked one (nothing fabricated, nothing resurrected
+// past a durable free).
+func TestCrashSweepRelaxedSync(t *testing.T) {
+	cfg := smallCfg()
+
+	run := func(budget int) (*segfile.CrashFS, *checker.DurableLedger, bool) {
+		crash := segfile.NewCrashFS(segfile.NewMemFS(), budget)
+		opts := segfile.Options{
+			FS:                   crash,
+			Sync:                 segfile.SyncOnSeal,
+			Geometry:             cfg.GeometryDefaults(),
+			CheckpointEverySeals: 4,
+		}
+		sf, err := segfile.Open(opts)
+		if err != nil {
+			if !errors.Is(err, segfile.ErrCrashed) {
+				t.Fatalf("budget %d: open: %v", budget, err)
+			}
+			return crash, checker.NewDurableLedger(nil), false
+		}
+		ledger := checker.NewDurableLedger(sf)
+		s := lss.New(cfg, newPolicy(t, cfg), lss.Deps{Durable: ledger})
+		return crash, ledger, driveWorkload(t, s, workloadOps)
+	}
+
+	count, _, completed := run(-1)
+	if !completed {
+		t.Fatal("counting run did not complete")
+	}
+	n := count.Calls()
+	stride := 7
+	if testing.Short() {
+		stride = 41
+	}
+	for k := 1; k <= n; k += stride {
+		crash, ledger, _ := run(k)
+		rec := recoverImage(t, cfg, crash)
+		if err := rec.CheckInvariants(); err != nil {
+			t.Fatalf("crash at syscall %d of %d: recovered invariants: %v", k, n, err)
+		}
+		acked := ledger.ExpectedDurable()
+		for lba, loc := range checker.ExpectedRecovery(rec) {
+			best, ok := acked[lba]
+			if !ok {
+				t.Fatalf("crash at syscall %d: recovered lba %d that was never acked", k, lba)
+			}
+			if loc.Version > best.Version {
+				t.Fatalf("crash at syscall %d: recovered lba %d version %d beyond acked %d",
+					k, lba, loc.Version, best.Version)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+//go:build linux
+
+package segfile
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// fsTypeName resolves dir's filesystem magic to a name. Unknown magics
+// render as hex so the capability record still distinguishes hosts.
+func fsTypeName(dir string) string {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return "unknown"
+	}
+	switch uint64(uint32(st.Type)) {
+	case 0xef53:
+		return "ext4"
+	case 0x58465342:
+		return "xfs"
+	case 0x9123683e:
+		return "btrfs"
+	case 0x01021994:
+		return "tmpfs"
+	case 0x794c7630:
+		return "overlayfs"
+	case 0x6969:
+		return "nfs"
+	case 0x2fc12fc1:
+		return "zfs"
+	case 0x858458f6:
+		return "ramfs"
+	case 0x01021997:
+		return "v9fs"
+	default:
+		return fmt.Sprintf("0x%x", uint64(uint32(st.Type)))
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !linux
+
+package segfile
+
+func fsTypeName(dir string) string { return "unknown" }

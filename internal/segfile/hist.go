@@ -1,0 +1,59 @@
+package segfile
+
+import "sync/atomic"
+
+// fsyncBounds are the fsync-latency histogram bucket upper bounds in
+// nanoseconds: 10 µs .. 1 s in decades, bracketing both tmpfs (~µs)
+// and spinning storage (~ms).
+var fsyncBounds = []int64{
+	10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+}
+
+// latHist is a tiny lock-free latency histogram over fsyncBounds. The
+// store keeps one unconditionally so Stats can report quantiles even
+// when no telemetry set is attached; it mirrors the quantile
+// estimation of telemetry.Histogram (bucket upper bound, max for the
+// overflow bucket).
+type latHist struct {
+	counts [7]atomic.Int64 // len(fsyncBounds)+1
+	max    atomic.Int64
+}
+
+func (h *latHist) observe(v int64) {
+	i := 0
+	for i < len(fsyncBounds) && v > fsyncBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+func (h *latHist) quantile(q float64) int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(fsyncBounds) {
+				return fsyncBounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}

@@ -1,0 +1,329 @@
+package segfile
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS with explicit durability modelling: every
+// inode tracks its cached (post-write) and synced (post-File.Sync)
+// contents separately, and the directory tracks its cached and synced
+// (post-SyncDir) namespaces separately. CrashImage materializes "what a
+// crash right now would leave on disk": the synced namespace mapped to
+// each inode's synced bytes. That is the conservative POSIX model —
+// writes are volatile until fsync, and creations/removals/renames are
+// volatile until the directory itself is synced.
+type MemFS struct {
+	mu sync.Mutex
+	// cached and synced are the live and durable namespaces; they map
+	// names to shared inodes.
+	cached map[string]*memInode
+	synced map[string]*memInode
+}
+
+type memInode struct {
+	cached []byte
+	synced []byte
+}
+
+// NewMemFS returns an empty in-memory FS.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		cached: make(map[string]*memInode),
+		synced: make(map[string]*memInode),
+	}
+}
+
+// CrashImage returns a new MemFS holding the durable state only: the
+// synced namespace, each file at its last-synced contents. The image is
+// fully synced (as after a crash and remount).
+func (m *MemFS) CrashImage() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMemFS()
+	for name, ino := range m.synced {
+		b := append([]byte(nil), ino.synced...)
+		n := &memInode{cached: b, synced: append([]byte(nil), b...)}
+		img.cached[name] = n
+		img.synced[name] = n
+	}
+	return img
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.cached[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		ino = &memInode{}
+		m.cached[name] = ino
+	case flag&os.O_TRUNC != 0:
+		ino.cached = nil
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.cached[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.cached, name)
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.cached[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.cached, oldname)
+	m.cached[newname] = ino
+	return nil
+}
+
+func (m *MemFS) ReadDir() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.cached))
+	for name := range m.cached {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.synced = make(map[string]*memInode, len(m.cached))
+	for name, ino := range m.cached {
+		m.synced[name] = ino
+	}
+	return nil
+}
+
+var _ FS = (*MemFS)(nil)
+
+type memFile struct {
+	fs  *MemFS
+	ino *memInode
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	end := off + int64(len(p))
+	if int64(len(f.ino.cached)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.ino.cached)
+		f.ino.cached = grown
+	}
+	copy(f.ino.cached[off:end], p)
+	return len(p), nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off >= int64(len(f.ino.cached)) {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.cached[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	switch {
+	case int64(len(f.ino.cached)) > size:
+		f.ino.cached = f.ino.cached[:size]
+	case int64(len(f.ino.cached)) < size:
+		grown := make([]byte, size)
+		copy(grown, f.ino.cached)
+		f.ino.cached = grown
+	}
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.synced = append(f.ino.synced[:0], f.ino.cached...)
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.ino.cached)), nil
+}
+
+// ErrCrashed is returned by every CrashFS operation at and after the
+// injected crash point: the killed syscall fails atomically (no partial
+// effect) and the "process" never reaches the kernel again.
+var ErrCrashed = errors.New("segfile: injected crash")
+
+// CrashFS wraps a MemFS and kills the world at an exact syscall
+// boundary: the Budget-th FS or File operation — and every one after
+// it — fails with ErrCrashed and has no effect. Combined with MemFS's
+// durability modelling, the surviving state is exactly CrashImage() of
+// the underlying MemFS: synced file contents reachable through the
+// synced namespace. The crash sweep drives a workload once with an
+// infinite budget to count syscalls, then replays it once per boundary.
+type CrashFS struct {
+	mu     sync.Mutex
+	inner  *MemFS
+	budget int // syscalls still allowed; <= 0 means crashed
+	calls  int
+}
+
+// NewCrashFS wraps inner, allowing budget syscalls before the crash.
+// A negative budget never crashes (used for the counting run).
+func NewCrashFS(inner *MemFS, budget int) *CrashFS {
+	return &CrashFS{inner: inner, budget: budget}
+}
+
+// Calls returns how many syscalls were attempted (including any that
+// failed with ErrCrashed).
+func (c *CrashFS) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// Crashed reports whether the crash point has been reached.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget == 0
+}
+
+// Image returns the post-crash durable state of the wrapped MemFS.
+func (c *CrashFS) Image() *MemFS { return c.inner.CrashImage() }
+
+// step consumes one syscall from the budget; it reports whether the
+// operation may proceed.
+func (c *CrashFS) step() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.budget == 0 {
+		return false
+	}
+	if c.budget > 0 {
+		c.budget--
+		if c.budget == 0 {
+			// This call is the crash point: it fails with no effect.
+			return false
+		}
+	}
+	return true
+}
+
+func (c *CrashFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if !c.step() {
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, f: f}, nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if !c.step() {
+		return ErrCrashed
+	}
+	return c.inner.Remove(name)
+}
+
+func (c *CrashFS) Rename(oldname, newname string) error {
+	if !c.step() {
+		return ErrCrashed
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
+func (c *CrashFS) ReadDir() ([]string, error) {
+	if !c.step() {
+		return nil, ErrCrashed
+	}
+	return c.inner.ReadDir()
+}
+
+func (c *CrashFS) SyncDir() error {
+	if !c.step() {
+		return ErrCrashed
+	}
+	return c.inner.SyncDir()
+}
+
+var _ FS = (*CrashFS)(nil)
+
+type crashFile struct {
+	fs *CrashFS
+	f  File
+}
+
+func (f *crashFile) WriteAt(p []byte, off int64) (int, error) {
+	if !f.fs.step() {
+		return 0, ErrCrashed
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *crashFile) ReadAt(p []byte, off int64) (int, error) {
+	if !f.fs.step() {
+		return 0, ErrCrashed
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *crashFile) Truncate(size int64) error {
+	if !f.fs.step() {
+		return ErrCrashed
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *crashFile) Sync() error {
+	if !f.fs.step() {
+		return ErrCrashed
+	}
+	return f.f.Sync()
+}
+
+func (f *crashFile) Close() error {
+	if !f.fs.step() {
+		return ErrCrashed
+	}
+	return f.f.Close()
+}
+
+func (f *crashFile) Size() (int64, error) {
+	if !f.fs.step() {
+		return 0, ErrCrashed
+	}
+	return f.f.Size()
+}

@@ -1,0 +1,41 @@
+//go:build linux
+
+package segfile
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// oDirectFlag is OR-ed into OpenFile flags for direct appends.
+const oDirectFlag = syscall.O_DIRECT
+
+// directAlign is the buffer/offset/length alignment O_DIRECT writes
+// must honor. 512 covers every current block device; records are
+// padded to it with pad records.
+const directAlign = 512
+
+// alignedBuf returns a directAlign-aligned slice of length n.
+func alignedBuf(n int) []byte {
+	b := make([]byte, n+directAlign)
+	shift := int(uintptr(unsafe.Pointer(&b[0])) & (directAlign - 1))
+	if shift != 0 {
+		shift = directAlign - shift
+	}
+	return b[shift : shift+n : shift+n]
+}
+
+// probeODirect reports whether dir's filesystem accepts an O_DIRECT
+// write of one aligned sector (tmpfs and some overlays do not).
+func probeODirect(dir string) bool {
+	f, err := os.OpenFile(dir+"/.odirect-probe", os.O_RDWR|os.O_CREATE|os.O_TRUNC|syscall.O_DIRECT, 0o600)
+	if err != nil {
+		return false
+	}
+	defer os.Remove(dir + "/.odirect-probe")
+	defer f.Close()
+	buf := alignedBuf(directAlign)
+	_, err = f.WriteAt(buf, 0)
+	return err == nil
+}

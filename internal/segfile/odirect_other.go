@@ -1,0 +1,13 @@
+//go:build !linux
+
+package segfile
+
+// O_DIRECT is Linux-specific; elsewhere the store always runs
+// buffered and Probe reports ODirect false.
+const oDirectFlag = 0
+
+const directAlign = 512
+
+func alignedBuf(n int) []byte { return make([]byte, n) }
+
+func probeODirect(dir string) bool { return false }

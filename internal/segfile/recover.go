@@ -1,0 +1,253 @@
+package segfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"adapt/internal/lss"
+)
+
+// Recovery: the directory scan (done in Open) produced one segImage
+// per surviving segment file. Recover validates each image against the
+// configured geometry, degrades what a crash could legitimately leave
+// behind (an unsealed-but-full segment, a torn open tail), synthesizes
+// an lss checkpoint stream from the result, and lets the store's own
+// Recover do the roll-forward — so the on-disk log and the in-memory
+// checkpoint share one recovery semantics, and the crash oracle
+// (checker.CompareRecovered) applies to both unchanged.
+
+// RecoveryStats reports what Recover rolled forward.
+type RecoveryStats struct {
+	// Segments and SealedSegments count surviving (non-free) segment
+	// incarnations, and how many of them were sealed.
+	Segments       int
+	SealedSegments int
+	// Blocks is the number of LBAs mapped after roll-forward.
+	Blocks int64
+	// TornRecords counts record tails truncated across all files
+	// (syscall-torn appends, geometry-invalid chunks, degraded seals).
+	TornRecords int
+	// CorruptFiles counts files dropped whole (bad header, bad name,
+	// out-of-range id, undecodable checkpoint).
+	CorruptFiles int
+	// CheckpointLoaded reports whether a valid clock-floor checkpoint
+	// was found.
+	CheckpointLoaded bool
+}
+
+// lssCkptMagic is lss.WriteCheckpoint's stream magic; the synthesized
+// image must carry it. Kept in sync by the segfile round-trip tests.
+var lssCkptMagic = []byte("ADPTCK01")
+
+// Segment states in the lss checkpoint stream (lss's private segState
+// iota order, guarded by the round-trip tests).
+const (
+	stateFree   = 0
+	stateOpen   = 1
+	stateSealed = 2
+)
+
+// Recover rebuilds a live lss.Store from the scanned directory. cfg
+// and p must match the geometry and group count the directory was
+// written with. deps is wired into the recovered store; callers that
+// want the store to keep persisting must include Durable: st in it.
+func (st *Store) Recover(cfg lss.Config, p lss.Policy, deps ...lss.Deps) (*lss.Store, RecoveryStats, error) {
+	var stats RecoveryStats
+	if p == nil {
+		return nil, stats, fmt.Errorf("segfile: recover: nil policy")
+	}
+	groups := p.Groups()
+	total := cfg.TotalSegments(groups)
+	eff := cfg.GeometryDefaults()
+	chunkBlocks := eff.ChunkBlocks
+	segChunks := eff.SegmentChunks
+	segBlocks := chunkBlocks * segChunks
+
+	if st.ckpt != nil {
+		stats.CheckpointLoaded = true
+		if g := st.ckpt.geo; g != (geometry{}) {
+			want := geometry{
+				blockSize:     eff.BlockSize,
+				chunkBlocks:   eff.ChunkBlocks,
+				segmentChunks: eff.SegmentChunks,
+				userBlocks:    eff.UserBlocks,
+			}
+			if g != want {
+				return nil, stats, fmt.Errorf("segfile: recover: checkpoint geometry %+v does not match configuration %+v", g, want)
+			}
+		}
+	}
+
+	// Validate every image against the geometry, truncating what a
+	// crash (or corruption) left unusable, and take the clock maxima.
+	var maxW, maxSeq, maxNow uint64
+	if st.ckpt != nil {
+		maxW, maxSeq, maxNow = st.ckpt.w, st.ckpt.appendSeq, st.ckpt.now
+	}
+	type segPlan struct {
+		img    *segImage
+		state  int
+		chunks int
+	}
+	plans := make([]segPlan, total)
+	for id, img := range st.images {
+		if id < 0 || id >= total {
+			// A segment id the configured store cannot hold: with the
+			// right configuration this never parses; drop it whole.
+			st.dropFile(id)
+			stats.CorruptFiles++
+			continue
+		}
+		keep := len(img.chunks)
+		if keep > segChunks {
+			keep = segChunks
+		}
+		for i := 0; i < keep; i++ {
+			if len(img.chunks[i].lbas) != chunkBlocks || len(img.chunks[i].vers) != chunkBlocks {
+				keep = i
+				break
+			}
+		}
+		entry := st.segs[id]
+		if keep < len(img.chunks) {
+			// Geometry-invalid or surplus chunks: the durable prefix
+			// ends before them. Truncate the file so future appends
+			// land at a parseable boundary.
+			stats.TornRecords += len(img.chunks) - keep
+			img.chunks = img.chunks[:keep]
+			end := int64(img.header.dataStart)
+			if keep > 0 {
+				end = img.chunkEnds[keep-1]
+			}
+			if err := entry.f.Truncate(end); err != nil {
+				return nil, stats, fmt.Errorf("segfile: recover truncate segment %d: %w", id, err)
+			}
+			entry.off = end
+			entry.chunks = keep
+			entry.sealed = false
+			img.sealed = false
+		}
+		sealed := img.sealed && keep == segChunks
+		if img.sealed && !sealed {
+			// A seal record without its full complement of chunks can
+			// only come from corruption (seals are write-ahead: data
+			// first). Degrade to open and drop the record, or appends
+			// after recovery would land unreachable behind it.
+			stats.TornRecords++
+			if err := entry.f.Truncate(img.sealOff); err != nil {
+				return nil, stats, fmt.Errorf("segfile: recover unseal segment %d: %w", id, err)
+			}
+			entry.off = img.sealOff
+			entry.sealed = false
+			img.sealed = false
+		}
+		state := stateOpen
+		if sealed {
+			state = stateSealed
+			stats.SealedSegments++
+		}
+		stats.Segments++
+		plans[id] = segPlan{img: img, state: state, chunks: keep}
+
+		if img.header.born > maxW {
+			maxW = img.header.born
+		}
+		if sealed && img.sealedW > maxW {
+			maxW = img.sealedW
+		}
+		for _, c := range img.chunks {
+			if c.w > maxW {
+				maxW = c.w
+			}
+			if c.now > maxNow {
+				maxNow = c.now
+			}
+			for _, v := range c.vers {
+				if uint64(v) > maxSeq {
+					maxSeq = uint64(v)
+				}
+			}
+		}
+	}
+
+	// Synthesize the lss checkpoint stream.
+	buf := bytes.NewBuffer(nil)
+	buf.Write(lssCkptMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putI := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putU(uint64(eff.BlockSize))
+	putU(uint64(eff.ChunkBlocks))
+	putU(uint64(eff.SegmentChunks))
+	putU(uint64(eff.UserBlocks))
+	putU(uint64(total))
+	putU(uint64(groups))
+	putU(maxW)
+	putU(maxSeq)
+	putU(maxNow)
+	for id := 0; id < total; id++ {
+		pl := plans[id]
+		if pl.img == nil {
+			putU(stateFree)
+			putU(0) // group
+			putU(0) // born
+			putU(0) // sealedW
+			putU(0) // flushed
+			continue
+		}
+		putU(uint64(pl.state))
+		putU(uint64(pl.img.header.group))
+		putU(pl.img.header.born)
+		if pl.state == stateSealed {
+			putU(pl.img.sealedW)
+		} else {
+			putU(0)
+		}
+		putU(uint64(pl.chunks * chunkBlocks))
+		for _, c := range pl.img.chunks {
+			for i := range c.lbas {
+				putI(c.lbas[i])
+				putI(c.vers[i])
+			}
+		}
+	}
+
+	store, err := lss.Recover(buf, cfg, p, deps...)
+	if err != nil {
+		return nil, stats, fmt.Errorf("segfile: recover: %w", err)
+	}
+	if store.TotalSegments() != total || store.Config().SegmentBlocks() != segBlocks {
+		// Defensive: the synthesized image and the built store must
+		// agree or every later id-based append is misdirected.
+		return nil, stats, fmt.Errorf("segfile: recover: store geometry drifted from synthesized image")
+	}
+	stats.Blocks = store.LiveBlocks()
+	stats.TornRecords += int(st.tornRecords.Load())
+	stats.CorruptFiles += int(st.corruptFiles)
+	st.tornRecords.Store(int64(stats.TornRecords))
+	st.corruptFiles = int64(stats.CorruptFiles)
+	st.recoveredSegs.Store(int64(stats.Segments))
+	st.recoveredBlocks.Store(stats.Blocks)
+	st.lastW, st.lastSeq, st.lastNow = maxW, maxSeq, maxNow
+	st.images = nil
+	return store, stats, nil
+}
+
+// dropFile closes and removes a file that recovery rejected whole.
+func (st *Store) dropFile(id int) {
+	if entry := st.segs[id]; entry != nil {
+		if entry.f != nil {
+			_ = entry.f.Close()
+		}
+		delete(st.segs, id)
+	}
+	_ = st.fs.Remove(segFileName(id))
+	delete(st.images, id)
+}

@@ -151,8 +151,11 @@ func (c *shardCommitter) commitList(head *commitReq) {
 	ops := make([]prototype.BatchWrite, n)
 	blocks := 0
 	traced := false
+	var werr error
 	for i, r := range items {
-		r.vol.writeData(r.lba, r.payload)
+		if e := r.vol.writeData(r.lba, r.payload); e != nil && werr == nil {
+			werr = e
+		}
 		ops[i] = prototype.BatchWrite{LBA: r.vol.base + r.lba, Blocks: r.blocks}
 		blocks += r.blocks
 		traced = traced || r.sp != nil
@@ -186,6 +189,20 @@ func (c *shardCommitter) commitList(head *commitReq) {
 	c.srv.met.batches.Inc()
 	c.srv.met.batchedWrites.Add(int64(n))
 	c.srv.met.batchFill.Observe(int64(blocks))
+	if err == nil {
+		err = werr
+	}
+	if err == nil {
+		// Durability point of the group commit: each member volume's
+		// backing file syncs once (syncData dedupes by dirty mark)
+		// before any follower is acked.
+		for _, r := range items {
+			if e := r.vol.syncData(); e != nil {
+				err = e
+				break
+			}
+		}
+	}
 	for _, r := range items {
 		r.done(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"adapt/internal/adaptcore"
 	"adapt/internal/lss"
 	"adapt/internal/prototype"
+	"adapt/internal/segfile"
 	"adapt/internal/telemetry"
 )
 
@@ -52,6 +53,9 @@ func TestMetricNamesGolden(t *testing.T) {
 		Policy:      pol,
 		ServiceTime: time.Microsecond,
 		Telemetry:   ts,
+		// A durable backend registers the lss_durable_* families; the
+		// golden pins them alongside the rest of the namespace.
+		Durable: &segfile.Options{Dir: t.TempDir(), Sync: segfile.SyncOnSeal},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -35,6 +35,14 @@ type Config struct {
 	// Volumes carves the engine's LBA space into this many equal tenant
 	// volumes (volume IDs 0..Volumes-1).
 	Volumes int
+	// DataDir, when set, backs each volume's payload plane with a
+	// vol-N.dat file in this directory: boot loads existing bytes,
+	// every WRITE goes through to the file, and an fsync precedes the
+	// ack (once per group commit on the batched path). A manifest.json
+	// pins the volume geometry so a reboot with a different carve-up is
+	// rejected instead of silently shearing tenants. Empty keeps the
+	// data plane RAM-only, as before.
+	DataDir string
 	// MaxInflight bounds admitted inflight ops per volume; further
 	// requests are rejected with StatusBackpressure (default 64).
 	MaxInflight int
@@ -182,6 +190,11 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.vols {
 		s.vols[i] = newVolume(uint32(i), int64(i)*volBlocks, volBlocks, store.BlockSize, cfg.MaxInflight)
 	}
+	if cfg.DataDir != "" {
+		if err := s.openVolumeFiles(cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Batch {
 		s.committers = make([]*shardCommitter, cfg.Engine.Shards())
 		for i := range s.committers {
@@ -255,7 +268,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Every ack already carried its own fsync; this close is
+		// bookkeeping, not the durability point.
+		return s.closeVolumeFiles()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -490,14 +505,19 @@ func (s *Server) handleWrite(vol *volume, req wire.Request, sp *telemetry.Span, 
 		})
 		return
 	}
-	vol.writeData(lba, req.Payload)
-	var err error
-	if sp != nil {
-		var t prototype.OpTiming
-		t, err = s.eng.WriteTimed(vol.base+lba, int(req.Count))
-		markEngine(sp, t)
-	} else {
-		err = s.eng.Write(vol.base+lba, int(req.Count))
+	err := vol.writeData(lba, req.Payload)
+	if err == nil {
+		if sp != nil {
+			var t prototype.OpTiming
+			t, err = s.eng.WriteTimed(vol.base+lba, int(req.Count))
+			markEngine(sp, t)
+		} else {
+			err = s.eng.Write(vol.base+lba, int(req.Count))
+		}
+	}
+	if err == nil {
+		// The ack promises durability: the payload's fsync lands first.
+		err = vol.syncData()
 	}
 	if err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
@@ -577,6 +597,12 @@ func (s *Server) handleFlush(vol *volume, req wire.Request, sp *telemetry.Span, 
 			sp.MarkAt(telemetry.StageBatch, s.eng.Now())
 		}
 	}
+	// Belt over the per-ack suspenders: a FLUSH leaves the volume's
+	// backing file clean even if a write-through raced the last sync.
+	if err := vol.syncData(); err != nil {
+		finish(errResp(&req, wire.StatusInternal, err.Error()))
+		return
+	}
 	finish(okResp(&req))
 }
 
@@ -633,6 +659,19 @@ func (s *Server) stats() []wire.Stat {
 	)
 	if s.trace != nil {
 		out = append(out, wire.Stat{Name: "srv_tail_p999_ns", Value: s.trace.tail.lastEstimateNS()})
+	}
+	if ds, ok := s.eng.DurableStats(); ok {
+		out = append(out,
+			wire.Stat{Name: "durable_synced_segments", Value: ds.SyncedSegments},
+			wire.Stat{Name: "durable_fsyncs", Value: ds.Fsyncs},
+			wire.Stat{Name: "durable_fsync_p50_ns", Value: ds.FsyncP50NS},
+			wire.Stat{Name: "durable_fsync_p99_ns", Value: ds.FsyncP99NS},
+			wire.Stat{Name: "durable_fsync_p999_ns", Value: ds.FsyncP999NS},
+			wire.Stat{Name: "durable_checkpoints", Value: ds.Checkpoints},
+			wire.Stat{Name: "durable_bytes_written", Value: ds.BytesWritten},
+			wire.Stat{Name: "durable_recovered_segments", Value: ds.RecoveredSegments},
+			wire.Stat{Name: "durable_recovered_blocks", Value: ds.RecoveredBlocks},
+		)
 	}
 	if gs := s.cfg.GCSched; gs != nil {
 		gst := gs.Stats()

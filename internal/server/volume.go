@@ -1,6 +1,9 @@
 package server
 
 import (
+	"fmt"
+	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -8,7 +11,10 @@ import (
 // volume is one tenant's block device: a contiguous slice of the shared
 // array's LBA space, a RAM data plane holding the payload bytes (the
 // lss store models placement and GC but never materializes data), a
-// bounded-inflight admission semaphore, and per-tenant counters.
+// bounded-inflight admission semaphore, and per-tenant counters. With
+// Config.DataDir set the data plane is additionally backed by a
+// vol-N.dat file: writes go through to the file and an fsync lands
+// before the ack, so an acked write survives a crash.
 type volume struct {
 	id         uint32
 	base       int64 // first global LBA on the shared array
@@ -21,6 +27,12 @@ type volume struct {
 
 	dataMu sync.RWMutex
 	data   []byte
+
+	// file is the durable backing file (nil without DataDir). dirty
+	// marks unsynced writes so syncData can skip redundant fsyncs —
+	// one group commit carrying many writes to a volume syncs it once.
+	file  *os.File
+	dirty atomic.Bool
 
 	// Per-tenant stats, all atomics (read by STAT while ops run).
 	writes, reads, trims, flushes atomic.Int64
@@ -64,13 +76,69 @@ func (v *volume) inRange(lba uint64, count uint32) bool {
 	return lba < uint64(v.blocks) && uint64(count) <= uint64(v.blocks)-lba
 }
 
+// attachFile binds a backing file to the volume: existing bytes load
+// into the RAM data plane (a shorter file — first boot, or a crash
+// before the tail was extended — reads as zeros past its end, matching
+// a block device's fresh-media semantics) and the file is sized to the
+// full volume so later WriteAt calls never grow it.
+func (v *volume) attachFile(f *os.File) error {
+	if _, err := f.ReadAt(v.data, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("volume %d: load %s: %w", v.id, f.Name(), err)
+	}
+	if err := f.Truncate(int64(len(v.data))); err != nil {
+		return fmt.Errorf("volume %d: size %s: %w", v.id, f.Name(), err)
+	}
+	v.file = f
+	return nil
+}
+
 // writeData copies payload into the volume's data plane at the
-// volume-relative lba.
-func (v *volume) writeData(lba int64, payload []byte) {
+// volume-relative lba, writing through to the backing file when one is
+// attached. The file write happens outside dataMu: ReadAt never sees
+// the file, and durability ordering is carried by the caller's
+// syncData-before-ack, not by the mutex.
+func (v *volume) writeData(lba int64, payload []byte) error {
 	off := lba * int64(v.blockBytes)
 	v.dataMu.Lock()
 	copy(v.data[off:], payload)
 	v.dataMu.Unlock()
+	if v.file != nil {
+		if _, err := v.file.WriteAt(payload, off); err != nil {
+			return fmt.Errorf("volume %d: write-through: %w", v.id, err)
+		}
+		v.dirty.Store(true)
+	}
+	return nil
+}
+
+// syncData makes every completed writeData durable. The dirty swap
+// lets a group commit touching one volume many times pay for a single
+// fsync; a write that lands after the swap is synced by its own ack
+// path. On fsync failure the dirty mark is restored so the volume
+// never reports clean state it cannot prove.
+func (v *volume) syncData() error {
+	if v.file == nil || !v.dirty.Swap(false) {
+		return nil
+	}
+	if err := v.file.Sync(); err != nil {
+		v.dirty.Store(true)
+		return fmt.Errorf("volume %d: fsync: %w", v.id, err)
+	}
+	return nil
+}
+
+// closeFile syncs and closes the backing file, if any.
+func (v *volume) closeFile() error {
+	if v.file == nil {
+		return nil
+	}
+	serr := v.syncData()
+	cerr := v.file.Close()
+	v.file = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // readData returns a copy of blocks starting at the volume-relative

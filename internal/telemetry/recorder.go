@@ -29,7 +29,18 @@ const (
 	MetricGCSchedQueueSkips = "gcsched_queue_skips_total"
 	MetricChunkFlushes      = "lss_chunk_flushes_total"
 	MetricFreeSegments      = "lss_free_segments"
-	MetricSLAViolations     = "lss_sla_violations_total"
+
+	// Durable-backend (internal/segfile) instrumentation.
+	MetricDurableSyncedSegments    = "lss_durable_synced_segments_total"
+	MetricDurableFsyncs            = "lss_durable_fsyncs_total"
+	MetricDurableBytes             = "lss_durable_bytes_total"
+	MetricDurableCheckpoints       = "lss_durable_checkpoints_total"
+	MetricDurableFsyncHistogram    = "lss_durable_fsync_ns"
+	MetricDurableRecoveredSegments = "lss_durable_recovered_segments"
+	MetricDurableRecoveredBlocks   = "lss_durable_recovered_blocks"
+	MetricDurableTornRecords       = "lss_durable_torn_records"
+
+	MetricSLAViolations = "lss_sla_violations_total"
 
 	// MetricGroupBlocksPrefix is the per-group total-traffic family:
 	// lss_group_blocks_total{group="N"}.
