@@ -15,17 +15,19 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzParseAli \
 	./internal/trace:FuzzParseTencent \
 	./internal/server/wire:FuzzWireDecode \
-	./internal/segfile:FuzzSegfileRecover
+	./internal/segfile:FuzzSegfileRecover \
+	./internal/nbd:FuzzNBDHandshake \
+	./internal/nbd:FuzzNBDRequest
 
-.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot gcsched-smoke serve-smoke trace-smoke scale-smoke durable-smoke
+.PHONY: check build vet test race race-sharded fault fuzz paranoid bench-telemetry bench-snapshot gcsched-smoke serve-smoke trace-smoke scale-smoke durable-smoke nbd-smoke nbd-mount-smoke
 
 ## check: full local gate — vet, build, race-enabled test suite, the
 ## sharded-engine suite pinned to GOMAXPROCS=4, a short fuzz smoke of
 ## every target on top of the checked-in corpora, the background-GC
 ## tail gate, the durability gate (crash-point sweep plus SIGKILL
-## restart), and end-to-end boots of the network service (plain and
-## traced).
-check: vet build race race-sharded fuzz gcsched-smoke durable-smoke serve-smoke trace-smoke
+## restart), and end-to-end boots of the network service (plain,
+## traced, and over the NBD frontend).
+check: vet build race race-sharded fuzz gcsched-smoke durable-smoke serve-smoke trace-smoke nbd-smoke
 
 build:
 	$(GO) build ./...
@@ -149,6 +151,54 @@ trace-smoke:
 	curl -sf http://127.0.0.1:19761/metrics | grep -q srv_trace_exemplars_total; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "trace-smoke OK"
+
+## nbd-smoke: the NBD frontend gate — the full internal/nbd suite under
+## the race detector (handshake, mixed-workload byte-exact readback,
+## RMW property test, fail+rebuild mid-traffic, SIGKILL restart over
+## NBD), then a real process boot: adaptserve with -nbd-addr, an
+## nbdload burst with unaligned writes and end-of-run verify over the
+## standard protocol, a telemetry scrape for the nbd_* families, and a
+## graceful SIGTERM drain.
+nbd-smoke:
+	$(GO) test -race -count=1 ./internal/nbd/...
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/adaptserve ./cmd/nbdload; \
+	$$tmp/adaptserve -addr 127.0.0.1:19780 -telemetry 127.0.0.1:19781 -nbd-addr 127.0.0.1:19782 -service-us 0 > $$tmp/serve.log 2>&1 & pid=$$!; \
+	sleep 1; \
+	$$tmp/nbdload -addr 127.0.0.1:19782 -export vol0 -workers 4 -duration 2s -unaligned 0.5 -verify > $$tmp/load.log 2>&1; \
+	grep aggregate $$tmp/load.log; \
+	grep -q 'verify: all worker slices read back byte-identical' $$tmp/load.log; \
+	curl -sf http://127.0.0.1:19781/metrics > $$tmp/metrics.txt; \
+	grep -q nbd_requests_total $$tmp/metrics.txt; \
+	grep -q nbd_handshakes_total $$tmp/metrics.txt; \
+	grep -q nbd_rmw_writes_total $$tmp/metrics.txt; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q '^final:' $$tmp/serve.log; \
+	echo "nbd-smoke OK"
+
+## nbd-mount-smoke: opt-in kernel-attach gate — adaptserve with
+## -nbd-addr, a real `nbd-client` attach to /dev/nbd*, an fio verify
+## burst against the kernel block device, and a clean detach. Needs
+## root, the nbd kernel module, and nbd-client + fio on PATH, so it is
+## not part of `check`; it skips politely when the host can't run it.
+nbd-mount-smoke:
+	@set -e; \
+	if ! command -v nbd-client >/dev/null 2>&1; then echo "nbd-mount-smoke SKIP (no nbd-client)"; exit 0; fi; \
+	if ! command -v fio >/dev/null 2>&1; then echo "nbd-mount-smoke SKIP (no fio)"; exit 0; fi; \
+	if [ "$$(id -u)" -ne 0 ]; then echo "nbd-mount-smoke SKIP (needs root)"; exit 0; fi; \
+	if ! modprobe nbd 2>/dev/null && [ ! -b /dev/nbd0 ]; then echo "nbd-mount-smoke SKIP (no nbd kernel module)"; exit 0; fi; \
+	tmp=$$(mktemp -d); dev=/dev/nbd0; \
+	trap 'nbd-client -d $$dev 2>/dev/null || true; kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/adaptserve; \
+	$$tmp/adaptserve -addr 127.0.0.1:19790 -telemetry '' -nbd-addr 127.0.0.1:19791 -service-us 0 > $$tmp/serve.log 2>&1 & pid=$$!; \
+	sleep 1; \
+	nbd-client -N vol0 127.0.0.1 19791 $$dev; \
+	fio --name=nbdsmoke --filename=$$dev --rw=randrw --bs=4k --size=4M --io_size=8M \
+		--direct=1 --verify=crc32c --do_verify=1 --output=$$tmp/fio.log; \
+	nbd-client -d $$dev; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "nbd-mount-smoke OK"
 
 ## scale-smoke: assert the sharded engine actually scales — boot
 ## adaptserve at 1 shard and at 4 shards, drive each with the same

@@ -9,6 +9,13 @@
 //	adaptserve -addr 127.0.0.1:9750 -telemetry 127.0.0.1:9751
 //	adaptserve -volumes 8 -policy adapt -batch=false
 //	adaptserve -data-dir /var/lib/adapt -durable-sync always
+//	adaptserve -nbd-addr 127.0.0.1:10809
+//
+// With -nbd-addr the same volumes are additionally exported over the
+// standard Network Block Device protocol (newstyle fixed handshake),
+// one export per volume named vol0..volN-1, so a stock nbd-client or
+// qemu-nbd can attach them while the bespoke wire protocol keeps
+// serving on -addr.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"adapt/internal/gcsched"
 	"adapt/internal/harness"
 	"adapt/internal/lss"
+	"adapt/internal/nbd"
 	"adapt/internal/prototype"
 	"adapt/internal/segfile"
 	"adapt/internal/server"
@@ -55,6 +63,8 @@ func main() {
 	gcSliceUnits := fs.Int("gc-slice-units", 0, "pacer relocation budget per tick at urgency 1 (0: gcsched default)")
 	gcIntervalUS := fs.Int("gc-interval-us", 0, "pacer tick interval in microseconds (0: gcsched default)")
 	gcTargetUS := fs.Int("gc-target-p999-us", 2000, "back off non-urgent GC while traced p999 exceeds this (0 or -trace=false disables)")
+	nbdAddr := fs.String("nbd-addr", "", "NBD listen address: exports every volume as vol0..volN-1 over the standard NBD protocol (empty disables)")
+	nbdMaxReqKiB := fs.Int("nbd-max-req-kib", 0, "largest NBD request payload in KiB (0: protocol default of 8 MiB)")
 	dataDir := fs.String("data-dir", "", "durable root: <dir>/engine holds the segment log, <dir>/volumes the tenant payload files; reboot recovers both (empty: RAM only)")
 	durableSync := fs.String("durable-sync", "seal", "segment-log fsync discipline: always (every chunk append) | seal (segment seal and checkpoint)")
 	odirect := fs.Bool("odirect", false, "open segment files with O_DIRECT where the filesystem supports it")
@@ -65,6 +75,12 @@ func main() {
 	}
 	if *volumes < 1 {
 		cmd.UsageErrorf("-volumes must be at least 1, got %d", *volumes)
+	}
+	if *nbdMaxReqKiB < 0 {
+		cmd.UsageErrorf("-nbd-max-req-kib must be non-negative, got %d", *nbdMaxReqKiB)
+	}
+	if *nbdMaxReqKiB > 0 && *nbdAddr == "" {
+		cmd.UsageErrorf("-nbd-max-req-kib requires -nbd-addr")
 	}
 	var vp lss.VictimPolicy
 	switch *victim {
@@ -170,6 +186,23 @@ func main() {
 		fmt.Printf("telemetry on http://%s/ (metrics, events.jsonl, series.jsonl, debug/trace, debug/pprof)\n", taddr)
 	}
 
+	var nsrv *nbd.Server
+	nbdDone := make(chan error, 1)
+	if *nbdAddr != "" {
+		nsrv, err = nbd.New(nbd.Config{
+			Backend:         srv,
+			MaxRequestBytes: *nbdMaxReqKiB << 10,
+			Telemetry:       ts,
+		})
+		cmd.Check(err)
+		nln, err := net.Listen("tcp", *nbdAddr)
+		cmd.Check(err)
+		go func() { nbdDone <- nsrv.Serve(nln) }()
+		fmt.Printf("nbd: %d exports (vol0..vol%d) on %s\n", srv.Volumes(), srv.Volumes()-1, nln.Addr())
+	} else {
+		close(nbdDone)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	cmd.Check(err)
 	gcMode := "sync"
@@ -194,12 +227,21 @@ func main() {
 		fmt.Println("draining...")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// The NBD frontend drains first: its in-flight ops need a
+		// backend that is still admitting, so the volume manager must
+		// not start refusing Acquire until NBD connections are gone.
+		if nsrv != nil {
+			if err := nsrv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptserve: nbd shutdown:", err)
+			}
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "adaptserve: shutdown:", err)
 		}
 	}()
 
 	cmd.Check(srv.Serve(ln))
+	cmd.Check(<-nbdDone)
 	if ctl != nil {
 		ctl.Stop()
 	}

@@ -32,6 +32,7 @@ func TestCommandsRejectBadArgsUniformly(t *testing.T) {
 		{"traceinfo", []string{"-definitely-not-a-flag"}},
 		{"adaptserve", []string{"-definitely-not-a-flag"}},
 		{"adaptload", []string{"-definitely-not-a-flag"}},
+		{"nbdload", []string{"-definitely-not-a-flag"}},
 		// Invalid configuration: the post-parse validation path.
 		{"adaptsim", []string{"-policy", "bogus"}},
 		{"adaptsim", []string{"-victim", "bogus"}},
@@ -42,8 +43,13 @@ func TestCommandsRejectBadArgsUniformly(t *testing.T) {
 		{"traceinfo", []string{"-format", "bogus", "ignored.bin"}},
 		{"adaptserve", []string{"-volumes", "0"}},
 		{"adaptserve", []string{"-victim", "bogus"}},
+		{"adaptserve", []string{"-nbd-max-req-kib", "-1"}},
+		{"adaptserve", []string{"-nbd-max-req-kib", "64"}}, // requires -nbd-addr
 		{"adaptload", []string{"-write-frac", "2"}},
 		{"adaptload", []string{"-tenants", "0"}},
+		{"nbdload", []string{"-write-frac", "2"}},
+		{"nbdload", []string{"-unaligned", "2"}},
+		{"nbdload", []string{"-workers", "0"}},
 	}
 	for _, tc := range cases {
 		name := tc.bin + " " + strings.Join(tc.args, " ")

@@ -1,0 +1,111 @@
+package nbd
+
+import (
+	"adapt/internal/telemetry"
+)
+
+// The alignment layer: NBD addresses bytes, the engine addresses
+// blocks. Reads widen to the covering block range and slice the
+// answer. Aligned writes pass straight through to the backend (and
+// its group committers). Unaligned writes become read-modify-write
+// cycles: the ragged head/tail blocks are read, the new bytes merged,
+// and the covering range written back as one block-aligned write —
+// serialized per volume so two RMW cycles cannot interleave their
+// read and write halves. Trims shrink to the fully-covered interior
+// (a trim is advisory, so dropping ragged edges is correct);
+// write-zeroes reuses the write path with a zero payload, so zeroes
+// always read back as zeroes.
+//
+// Every caller has already validated offset+length against the export
+// size and the request cap, so the arithmetic here cannot overflow:
+// offsets fit in int64 because export size = VolumeBlocks × BlockBytes
+// does.
+
+// blockSpan returns the covering block range [start, end) of the byte
+// span [off, off+length).
+func (s *Server) blockSpan(off uint64, length uint32) (start, end int64) {
+	b := uint64(s.blockBytes)
+	start = int64(off / b)
+	end = int64((off + uint64(length) + b - 1) / b)
+	return start, end
+}
+
+// readSpan reads the byte span [off, off+length).
+func (s *Server) readSpan(vol uint32, off uint64, length uint32, sp *telemetry.Span) ([]byte, error) {
+	start, end := s.blockSpan(off, length)
+	buf, err := s.b.ReadBlocks(vol, start, int(end-start), sp)
+	if err != nil {
+		return nil, err
+	}
+	head := off - uint64(start)*uint64(s.blockBytes)
+	return buf[head : head+uint64(length)], nil
+}
+
+// writeSpan writes data at byte offset off, calling done exactly once
+// with the ack. The aligned fast path hands the payload to the
+// backend untouched; ragged edges take the RMW slow path.
+func (s *Server) writeSpan(vol uint32, off uint64, data []byte, sp *telemetry.Span, done func(error)) {
+	b := uint64(s.blockBytes)
+	if off%b == 0 && uint64(len(data))%b == 0 {
+		s.b.WriteBlocks(vol, int64(off/b), data, sp, done)
+		return
+	}
+	s.met.rmwWrites.Inc()
+	start, end := s.blockSpan(off, uint32(len(data)))
+	mu := &s.rmw[vol]
+	mu.Lock()
+	buf := make([]byte, (end-start)*int64(b))
+	// Fill the ragged head and tail blocks with their current bytes
+	// before overlaying the new data. One read suffices when the span
+	// lives inside a single block.
+	raggedHead := off%b != 0
+	raggedTail := (off+uint64(len(data)))%b != 0
+	if raggedHead || raggedTail {
+		if end-start == 1 {
+			old, err := s.b.ReadBlocks(vol, start, 1, sp)
+			if err != nil {
+				mu.Unlock()
+				done(err)
+				return
+			}
+			copy(buf, old)
+		} else {
+			if raggedHead {
+				old, err := s.b.ReadBlocks(vol, start, 1, sp)
+				if err != nil {
+					mu.Unlock()
+					done(err)
+					return
+				}
+				copy(buf, old)
+			}
+			if raggedTail {
+				old, err := s.b.ReadBlocks(vol, end-1, 1, sp)
+				if err != nil {
+					mu.Unlock()
+					done(err)
+					return
+				}
+				copy(buf[(end-1-start)*int64(b):], old)
+			}
+		}
+	}
+	copy(buf[off-uint64(start)*b:], data)
+	s.b.WriteBlocks(vol, start, buf, sp, func(err error) {
+		mu.Unlock()
+		done(err)
+	})
+}
+
+// trimSpan trims the blocks fully covered by [off, off+length). A
+// ragged edge is simply kept — NBD_CMD_TRIM is advisory, and the
+// engine's trim granularity is the block.
+func (s *Server) trimSpan(vol uint32, off uint64, length uint32, sp *telemetry.Span) error {
+	b := uint64(s.blockBytes)
+	first := int64((off + b - 1) / b)
+	past := int64((off + uint64(length)) / b)
+	if past <= first {
+		return nil
+	}
+	return s.b.TrimBlocks(vol, first, int(past-first), sp)
+}

@@ -1,0 +1,372 @@
+// Package nbdtest is a pure-Go NBD client speaking the newstyle fixed
+// handshake and the transmission phase — enough protocol to stand in
+// for nbd-client/qemu in environments where the kernel nbd module is
+// unavailable (CI containers). The e2e tests, cmd/nbdload, and the
+// nbd-smoke make target all drive the server through it.
+//
+// A Client is one NBD connection and is not safe for concurrent use;
+// callers wanting parallelism open several connections (which also
+// exercises the server's multi-conn support).
+package nbdtest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Protocol constants, mirrored from the server (kept separate on
+// purpose: a shared definition would let one side's typo cancel the
+// other's).
+const (
+	nbdMagic = 0x4e42444d41474943
+	optMagic = 0x49484156454f5054
+	repMagic = 0x3e889045565a9
+
+	requestMagic     = 0x25609513
+	simpleReplyMagic = 0x67446698
+
+	flagFixedNewstyle = 1 << 0
+	flagNoZeroes      = 1 << 1
+
+	clientFlagFixedNewstyle = 1 << 0
+	clientFlagNoZeroes      = 1 << 1
+
+	optExportName = 1
+	optAbort      = 2
+	optList       = 3
+	optInfo       = 6
+	optGo         = 7
+
+	repAck    = 1
+	repServer = 2
+	repInfo   = 3
+	repErrBit = uint32(1) << 31
+
+	infoExport    = 0
+	infoName      = 1
+	infoBlockSize = 3
+
+	cmdRead        = 0
+	cmdWrite       = 1
+	cmdDisc        = 2
+	cmdFlush       = 3
+	cmdTrim        = 4
+	cmdWriteZeroes = 6
+
+	// FlagFUA is the per-command force-unit-access flag.
+	FlagFUA = 1 << 0
+)
+
+// Transmission flag bits, exported for assertions in tests.
+const (
+	TFlagHasFlags        = 1 << 0
+	TFlagReadOnly        = 1 << 1
+	TFlagSendFlush       = 1 << 2
+	TFlagSendFUA         = 1 << 3
+	TFlagSendTrim        = 1 << 5
+	TFlagSendWriteZeroes = 1 << 6
+	TFlagCanMultiConn    = 1 << 8
+)
+
+// Errno is a non-zero NBD reply error.
+type Errno uint32
+
+func (e Errno) Error() string {
+	switch e {
+	case 1:
+		return "nbd: EPERM"
+	case 5:
+		return "nbd: EIO"
+	case 22:
+		return "nbd: EINVAL"
+	case 28:
+		return "nbd: ENOSPC"
+	case 75:
+		return "nbd: EOVERFLOW"
+	case 108:
+		return "nbd: ESHUTDOWN"
+	default:
+		return fmt.Sprintf("nbd: errno %d", uint32(e))
+	}
+}
+
+// Info is the negotiated export description.
+type Info struct {
+	Size           uint64
+	Flags          uint16
+	MinBlock       uint32
+	PreferredBlock uint32
+	MaxBlock       uint32
+}
+
+// Client is one NBD connection in the transmission phase.
+type Client struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	info   Info
+	handle uint64
+}
+
+// greet consumes the server greeting and sends the client flags.
+func greet(conn net.Conn, br *bufio.Reader) error {
+	var hdr [18]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("greeting: %w", err)
+	}
+	if binary.BigEndian.Uint64(hdr[0:8]) != nbdMagic || binary.BigEndian.Uint64(hdr[8:16]) != optMagic {
+		return errors.New("not an NBD newstyle server")
+	}
+	hsFlags := binary.BigEndian.Uint16(hdr[16:18])
+	if hsFlags&flagFixedNewstyle == 0 {
+		return errors.New("server lacks fixed newstyle")
+	}
+	cf := uint32(clientFlagFixedNewstyle)
+	if hsFlags&flagNoZeroes != 0 {
+		cf |= clientFlagNoZeroes
+	}
+	return writeAll(conn, binary.BigEndian.AppendUint32(nil, cf))
+}
+
+// sendOption writes one negotiation option.
+func sendOption(conn net.Conn, typ uint32, data []byte) error {
+	buf := binary.BigEndian.AppendUint64(nil, optMagic)
+	buf = binary.BigEndian.AppendUint32(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(data)))
+	return writeAll(conn, append(buf, data...))
+}
+
+// optReply is one decoded negotiation reply.
+type optReply struct {
+	opt  uint32
+	typ  uint32
+	data []byte
+}
+
+// maxReplyLen bounds a negotiation reply body.
+const maxReplyLen = 1 << 20
+
+func readOptReply(br *bufio.Reader) (optReply, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return optReply{}, err
+	}
+	if binary.BigEndian.Uint64(hdr[0:8]) != repMagic {
+		return optReply{}, errors.New("bad option reply magic")
+	}
+	r := optReply{
+		opt: binary.BigEndian.Uint32(hdr[8:12]),
+		typ: binary.BigEndian.Uint32(hdr[12:16]),
+	}
+	n := binary.BigEndian.Uint32(hdr[16:20])
+	if n > maxReplyLen {
+		return optReply{}, fmt.Errorf("oversized option reply (%d bytes)", n)
+	}
+	if n > 0 {
+		r.data = make([]byte, n)
+		if _, err := io.ReadFull(br, r.data); err != nil {
+			return optReply{}, err
+		}
+	}
+	return r, nil
+}
+
+func writeAll(conn net.Conn, buf []byte) error {
+	_, err := conn.Write(buf)
+	return err
+}
+
+// Dial connects to an NBD server and negotiates the named export via
+// NBD_OPT_GO ("" selects the default export).
+func Dial(addr, export string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := attach(conn, export)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// attach negotiates export over an established connection.
+func attach(conn net.Conn, export string) (*Client, error) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := greet(conn, br); err != nil {
+		return nil, err
+	}
+	payload := binary.BigEndian.AppendUint32(nil, uint32(len(export)))
+	payload = append(payload, export...)
+	payload = binary.BigEndian.AppendUint16(payload, 1)
+	payload = binary.BigEndian.AppendUint16(payload, infoBlockSize)
+	if err := sendOption(conn, optGo, payload); err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: br}
+	for {
+		rep, err := readOptReply(br)
+		if err != nil {
+			return nil, err
+		}
+		if rep.opt != optGo {
+			return nil, fmt.Errorf("reply for option %d, want GO", rep.opt)
+		}
+		switch rep.typ {
+		case repAck:
+			if c.info.Size == 0 {
+				return nil, errors.New("GO acked without NBD_INFO_EXPORT")
+			}
+			return c, nil
+		case repInfo:
+			if len(rep.data) < 2 {
+				return nil, errors.New("short info reply")
+			}
+			switch binary.BigEndian.Uint16(rep.data[0:2]) {
+			case infoExport:
+				if len(rep.data) != 12 {
+					return nil, fmt.Errorf("NBD_INFO_EXPORT is %d bytes, want 12", len(rep.data))
+				}
+				c.info.Size = binary.BigEndian.Uint64(rep.data[2:10])
+				c.info.Flags = binary.BigEndian.Uint16(rep.data[10:12])
+			case infoBlockSize:
+				if len(rep.data) != 14 {
+					return nil, fmt.Errorf("NBD_INFO_BLOCK_SIZE is %d bytes, want 14", len(rep.data))
+				}
+				c.info.MinBlock = binary.BigEndian.Uint32(rep.data[2:6])
+				c.info.PreferredBlock = binary.BigEndian.Uint32(rep.data[6:10])
+				c.info.MaxBlock = binary.BigEndian.Uint32(rep.data[10:14])
+			}
+		default:
+			if rep.typ&repErrBit != 0 {
+				return nil, fmt.Errorf("GO refused (reply %#x): %s", rep.typ, rep.data)
+			}
+			return nil, fmt.Errorf("unexpected GO reply type %#x", rep.typ)
+		}
+	}
+}
+
+// List returns the server's export names over a throwaway connection.
+func List(addr string) ([]string, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := greet(conn, br); err != nil {
+		return nil, err
+	}
+	if err := sendOption(conn, optList, nil); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		rep, err := readOptReply(br)
+		if err != nil {
+			return nil, err
+		}
+		switch rep.typ {
+		case repServer:
+			if len(rep.data) < 4 {
+				return nil, errors.New("short LIST entry")
+			}
+			n := binary.BigEndian.Uint32(rep.data[0:4])
+			if int64(n) > int64(len(rep.data)-4) {
+				return nil, errors.New("LIST entry name overruns reply")
+			}
+			names = append(names, string(rep.data[4:4+n]))
+		case repAck:
+			// Polite teardown; the server may close first, so errors
+			// past this point are immaterial.
+			_ = sendOption(conn, optAbort, nil)
+			return names, nil
+		default:
+			return nil, fmt.Errorf("LIST refused (reply %#x): %s", rep.typ, rep.data)
+		}
+	}
+}
+
+// Info returns the negotiated export description.
+func (c *Client) Info() Info { return c.info }
+
+// roundtrip sends one request and reads its simple reply (plus
+// readLen payload bytes on success).
+func (c *Client) roundtrip(cmd, flags uint16, off uint64, length uint32, payload []byte, readLen uint32) ([]byte, error) {
+	c.handle++
+	hdr := binary.BigEndian.AppendUint32(nil, requestMagic)
+	hdr = binary.BigEndian.AppendUint16(hdr, flags)
+	hdr = binary.BigEndian.AppendUint16(hdr, cmd)
+	hdr = binary.BigEndian.AppendUint64(hdr, c.handle)
+	hdr = binary.BigEndian.AppendUint64(hdr, off)
+	hdr = binary.BigEndian.AppendUint32(hdr, length)
+	if err := writeAll(c.conn, append(hdr, payload...)); err != nil {
+		return nil, err
+	}
+	var rep [16]byte
+	if _, err := io.ReadFull(c.br, rep[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(rep[0:4]) != simpleReplyMagic {
+		return nil, errors.New("bad simple reply magic")
+	}
+	if h := binary.BigEndian.Uint64(rep[8:16]); h != c.handle {
+		return nil, fmt.Errorf("reply handle %d, want %d", h, c.handle)
+	}
+	if errno := binary.BigEndian.Uint32(rep[4:8]); errno != 0 {
+		return nil, Errno(errno)
+	}
+	if readLen == 0 {
+		return nil, nil
+	}
+	data := make([]byte, readLen)
+	if _, err := io.ReadFull(c.br, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Read reads length bytes at off.
+func (c *Client) Read(off uint64, length uint32) ([]byte, error) {
+	return c.roundtrip(cmdRead, 0, off, length, nil, length)
+}
+
+// Write writes data at off; flags may carry FlagFUA.
+func (c *Client) Write(off uint64, data []byte, flags uint16) error {
+	_, err := c.roundtrip(cmdWrite, flags, off, uint32(len(data)), data, 0)
+	return err
+}
+
+// WriteZeroes zeroes length bytes at off.
+func (c *Client) WriteZeroes(off uint64, length uint32, flags uint16) error {
+	_, err := c.roundtrip(cmdWriteZeroes, flags, off, length, nil, 0)
+	return err
+}
+
+// Trim discards length bytes at off (advisory).
+func (c *Client) Trim(off uint64, length uint32) error {
+	_, err := c.roundtrip(cmdTrim, 0, off, length, nil, 0)
+	return err
+}
+
+// Flush is the write barrier.
+func (c *Client) Flush() error {
+	_, err := c.roundtrip(cmdFlush, 0, 0, 0, nil, 0)
+	return err
+}
+
+// Close sends DISC (best effort) and closes the connection.
+func (c *Client) Close() error {
+	hdr := binary.BigEndian.AppendUint32(nil, requestMagic)
+	hdr = binary.BigEndian.AppendUint16(hdr, 0)
+	hdr = binary.BigEndian.AppendUint16(hdr, cmdDisc)
+	hdr = binary.BigEndian.AppendUint64(hdr, c.handle+1)
+	hdr = binary.BigEndian.AppendUint64(hdr, 0)
+	hdr = binary.BigEndian.AppendUint32(hdr, 0)
+	_ = writeAll(c.conn, hdr)
+	return c.conn.Close()
+}

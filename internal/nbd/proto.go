@@ -1,0 +1,251 @@
+package nbd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the NBD wire vocabulary — the constants from the
+// protocol document (https://github.com/NetworkBlockDevice/nbd/blob/
+// master/doc/proto.md) plus the bounded decoders for everything the
+// server reads off the socket. Decoders never trust a peer-supplied
+// length: every allocation is capped, and malformed input returns an
+// error wrapping ErrProtocol instead of panicking. The fuzz targets
+// (FuzzNBDHandshake, FuzzNBDRequest) hold them to that.
+
+// ErrProtocol wraps every malformed-input error from the decoders.
+var ErrProtocol = errors.New("nbd: protocol error")
+
+// Handshake magics: the server greeting is NBDMAGIC + IHAVEOPT, and
+// every client option re-states IHAVEOPT.
+const (
+	nbdMagic = 0x4e42444d41474943 // "NBDMAGIC"
+	optMagic = 0x49484156454f5054 // "IHAVEOPT"
+	repMagic = 0x3e889045565a9    // option reply magic
+)
+
+// Transmission magics.
+const (
+	requestMagic     = 0x25609513
+	simpleReplyMagic = 0x67446698
+)
+
+// Handshake flags (server→client, u16) and client flags (u32).
+const (
+	flagFixedNewstyle = 1 << 0
+	flagNoZeroes      = 1 << 1
+
+	clientFlagFixedNewstyle = 1 << 0
+	clientFlagNoZeroes      = 1 << 1
+)
+
+// Option types (client→server during negotiation).
+const (
+	optExportName      = 1
+	optAbort           = 2
+	optList            = 3
+	optStartTLS        = 5
+	optInfo            = 6
+	optGo              = 7
+	optStructuredReply = 8
+)
+
+// Option reply types (server→client).
+const (
+	repAck    = 1
+	repServer = 2
+	repInfo   = 3
+
+	repErrBit     = uint32(1) << 31
+	repErrUnsup   = repErrBit | 1
+	repErrPolicy  = repErrBit | 2
+	repErrInvalid = repErrBit | 3
+	repErrUnknown = repErrBit | 6
+)
+
+// NBD_INFO information types inside NBD_OPT_INFO/GO.
+const (
+	infoExport    = 0
+	infoName      = 1
+	infoBlockSize = 3
+)
+
+// Per-export transmission flags (u16).
+const (
+	tflagHasFlags        = 1 << 0
+	tflagReadOnly        = 1 << 1
+	tflagSendFlush       = 1 << 2
+	tflagSendFUA         = 1 << 3
+	tflagRotational      = 1 << 4
+	tflagSendTrim        = 1 << 5
+	tflagSendWriteZeroes = 1 << 6
+	tflagCanMultiConn    = 1 << 8
+)
+
+// Transmission commands (u16).
+const (
+	cmdRead        = 0
+	cmdWrite       = 1
+	cmdDisc        = 2
+	cmdFlush       = 3
+	cmdTrim        = 4
+	cmdCache       = 5
+	cmdWriteZeroes = 6
+)
+
+// Per-command flags (u16).
+const (
+	cmdFlagFUA    = 1 << 0
+	cmdFlagNoHole = 1 << 1
+)
+
+// Transmission error numbers (u32, a subset of errno).
+const (
+	nbdEPERM     = 1
+	nbdEIO       = 5
+	nbdEINVAL    = 22
+	nbdENOSPC    = 28
+	nbdEOVERFLOW = 75
+	nbdESHUTDOWN = 108
+)
+
+// cmdName returns the command mnemonic for metrics and errors.
+func cmdName(cmd uint16) string {
+	switch cmd {
+	case cmdRead:
+		return "read"
+	case cmdWrite:
+		return "write"
+	case cmdDisc:
+		return "disc"
+	case cmdFlush:
+		return "flush"
+	case cmdTrim:
+		return "trim"
+	case cmdCache:
+		return "cache"
+	case cmdWriteZeroes:
+		return "write_zeroes"
+	default:
+		return fmt.Sprintf("cmd(%d)", cmd)
+	}
+}
+
+// maxOptionLen bounds a single negotiation option's data (the spec
+// caps strings at 4096; INFO/GO carry a name plus a short info list).
+const maxOptionLen = 8 << 10
+
+// DefaultMaxRequestBytes bounds one transmission request's payload
+// (WRITE data in, READ data out, WRITE_ZEROES extent) unless the
+// server configures its own cap; it is advertised as the maximum block
+// size during negotiation, so a conforming client never trips it.
+const DefaultMaxRequestBytes = 8 << 20
+
+// option is one decoded negotiation option.
+type option struct {
+	typ  uint32
+	data []byte
+}
+
+// readOption decodes one client option: IHAVEOPT magic, option type,
+// length, data. The length is bounded by maxOptionLen before any
+// allocation.
+func readOption(r io.Reader) (option, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return option{}, err
+	}
+	if binary.BigEndian.Uint64(hdr[0:8]) != optMagic {
+		return option{}, fmt.Errorf("%w: bad option magic %#x", ErrProtocol, binary.BigEndian.Uint64(hdr[0:8]))
+	}
+	o := option{typ: binary.BigEndian.Uint32(hdr[8:12])}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > maxOptionLen {
+		return option{}, fmt.Errorf("%w: option %d data %d bytes exceeds %d", ErrProtocol, o.typ, n, maxOptionLen)
+	}
+	if n > 0 {
+		o.data = make([]byte, n)
+		if _, err := io.ReadFull(r, o.data); err != nil {
+			return option{}, err
+		}
+	}
+	return o, nil
+}
+
+// parseInfoPayload decodes the NBD_OPT_INFO / NBD_OPT_GO option data:
+// a u32 export-name length, the name, a u16 count of information
+// requests, and that many u16 information types.
+func parseInfoPayload(data []byte) (name string, infos []uint16, err error) {
+	if len(data) < 6 {
+		return "", nil, fmt.Errorf("%w: INFO/GO payload %d bytes", ErrProtocol, len(data))
+	}
+	nameLen := binary.BigEndian.Uint32(data[0:4])
+	if int64(nameLen) > int64(len(data)-6) {
+		return "", nil, fmt.Errorf("%w: INFO/GO name length %d exceeds payload", ErrProtocol, nameLen)
+	}
+	name = string(data[4 : 4+nameLen])
+	rest := data[4+nameLen:]
+	n := int(binary.BigEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	if len(rest) != 2*n {
+		return "", nil, fmt.Errorf("%w: INFO/GO carries %d info bytes, want %d", ErrProtocol, len(rest), 2*n)
+	}
+	infos = make([]uint16, n)
+	for i := range infos {
+		infos[i] = binary.BigEndian.Uint16(rest[2*i:])
+	}
+	return name, infos, nil
+}
+
+// request is one decoded transmission request header. Payload bytes
+// (WRITE) are read separately, bounded by the server's request cap.
+type request struct {
+	flags  uint16
+	cmd    uint16
+	handle uint64
+	offset uint64
+	length uint32
+}
+
+// readRequest decodes one transmission request header (28 bytes).
+func readRequest(r io.Reader) (request, error) {
+	var hdr [28]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return request{}, err
+	}
+	if m := binary.BigEndian.Uint32(hdr[0:4]); m != requestMagic {
+		return request{}, fmt.Errorf("%w: bad request magic %#x", ErrProtocol, m)
+	}
+	return request{
+		flags:  binary.BigEndian.Uint16(hdr[4:6]),
+		cmd:    binary.BigEndian.Uint16(hdr[6:8]),
+		handle: binary.BigEndian.Uint64(hdr[8:16]),
+		offset: binary.BigEndian.Uint64(hdr[16:24]),
+		length: binary.BigEndian.Uint32(hdr[24:28]),
+	}, nil
+}
+
+// appendU16/32/64 are the big-endian encode helpers shared by the
+// server and the nbdtest client.
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// appendOptionReply encodes one negotiation reply frame.
+func appendOptionReply(b []byte, opt, typ uint32, data []byte) []byte {
+	b = appendU64(b, repMagic)
+	b = appendU32(b, opt)
+	b = appendU32(b, typ)
+	b = appendU32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+// appendSimpleReply encodes one transmission reply header; READ data
+// follows separately.
+func appendSimpleReply(b []byte, errno uint32, handle uint64) []byte {
+	b = appendU32(b, simpleReplyMagic)
+	b = appendU32(b, errno)
+	return appendU64(b, handle)
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"adapt/internal/prototype"
+	"adapt/internal/sim"
+	"adapt/internal/telemetry"
+)
+
+// VolumeBackend is the protocol-agnostic surface of the volume
+// manager: everything a wire frontend needs to serve block requests
+// against the tenant volumes — geometry, blocking admission, the block
+// ops with their durability discipline (an acked write is fsync'd when
+// a data dir is attached), and the span lifecycle for request tracing.
+//
+// *Server implements it, and both frontends ride the one
+// implementation: the bespoke wire protocol (this package's
+// handleConn) and the NBD frontend (internal/nbd) are peers over the
+// same volumes, committers, admission semaphores, and trace runtime.
+// Writes entering through any frontend coalesce into the same
+// per-shard group commits.
+//
+// Ops return the package's typed sentinels (ErrBadVolume,
+// ErrOutOfRange, ErrBadRequest, ErrShuttingDown) so each frontend can
+// map failures onto its own wire status space.
+type VolumeBackend interface {
+	// Volumes is the tenant volume count; VolumeBlocks the per-volume
+	// LBA count; BlockBytes the block size every op is denominated in.
+	Volumes() int
+	VolumeBlocks() int64
+	BlockBytes() int
+
+	// Now is the engine clock spans are stamped on.
+	Now() sim.Time
+
+	// Acquire takes one of vol's inflight slots, blocking until a slot
+	// frees or the server drains (ErrShuttingDown). Each Acquire must
+	// be paired with Release after the op's reply is on the wire.
+	Acquire(vol uint32) error
+	Release(vol uint32)
+
+	// ReadBlocks returns a copy of blocks payload bytes starting at the
+	// volume-relative lba, after the engine models the device read.
+	ReadBlocks(vol uint32, lba int64, blocks int, sp *telemetry.Span) ([]byte, error)
+	// WriteBlocks commits a chunk of block-aligned payload at the
+	// volume-relative lba and calls done exactly once when the write is
+	// acked — possibly from another goroutine, after the group commit
+	// that carried it. An acked write is durable when the server runs
+	// with a data dir (fsync-before-ack).
+	WriteBlocks(vol uint32, lba int64, payload []byte, sp *telemetry.Span, done func(error))
+	// TrimBlocks discards blocks starting at the volume-relative lba.
+	TrimBlocks(vol uint32, lba int64, blocks int, sp *telemetry.Span) error
+	// Flush is the write barrier: every write acked before the call is
+	// durable when it returns (group commits forced, backing file
+	// fsync'd).
+	Flush(vol uint32, sp *telemetry.Span) error
+
+	// NewSpan starts a request span stamped on the engine clock, or nil
+	// when tracing is off (every span argument above is nil-safe).
+	// FinishSpan completes it after the response bytes hit the socket,
+	// publishing to ring when the span is exemplar-worthy. Rings come
+	// from OpenSpanRing per connection and must be retired with
+	// CloseSpanRing; both are nil-safe no-ops when tracing is off.
+	NewSpan() *telemetry.Span
+	FinishSpan(sp *telemetry.Span, ring *telemetry.SpanRing)
+	DropSpan(sp *telemetry.Span)
+	OpenSpanRing() *telemetry.SpanRing
+	CloseSpanRing(r *telemetry.SpanRing)
+}
+
+// Server implements VolumeBackend; the compiler holds it to that.
+var _ VolumeBackend = (*Server)(nil)
+
+// BlockBytes returns the block size in bytes.
+func (s *Server) BlockBytes() int { return s.eng.Config().BlockSize }
+
+// Now returns the engine clock.
+func (s *Server) Now() sim.Time { return s.eng.Now() }
+
+// vol resolves a volume ID.
+func (s *Server) vol(id uint32) (*volume, error) {
+	if id >= uint32(len(s.vols)) {
+		return nil, ErrBadVolume
+	}
+	return s.vols[id], nil
+}
+
+// Acquire blocks for one of vol's inflight slots. Unlike the wire
+// frontend's fail-fast admit (which maps a full semaphore to
+// StatusBackpressure), frontends without a backpressure vocabulary —
+// NBD has none — park here and let TCP carry the pushback.
+func (s *Server) Acquire(vol uint32) error {
+	v, err := s.vol(vol)
+	if err != nil {
+		return err
+	}
+	select {
+	case v.sem <- struct{}{}:
+		if s.draining.Load() {
+			<-v.sem
+			return ErrShuttingDown
+		}
+		return nil
+	case <-s.drainCh:
+		return ErrShuttingDown
+	}
+}
+
+// Release frees an Acquired slot.
+func (s *Server) Release(vol uint32) {
+	if v, err := s.vol(vol); err == nil {
+		v.release()
+	}
+}
+
+// ReadBlocks implements VolumeBackend over readCore.
+func (s *Server) ReadBlocks(vol uint32, lba int64, blocks int, sp *telemetry.Span) ([]byte, error) {
+	v, err := s.vol(vol)
+	if err != nil {
+		return nil, err
+	}
+	if blocks < 1 {
+		return nil, ErrBadRequest
+	}
+	if lba < 0 || !v.inRange(uint64(lba), uint32(blocks)) {
+		return nil, ErrOutOfRange
+	}
+	return s.readCore(v, lba, blocks, sp)
+}
+
+// WriteBlocks implements VolumeBackend over writeCore. The payload
+// must be a whole number of blocks; done owns the payload's fate (it
+// may be retained until the group commit fires).
+func (s *Server) WriteBlocks(vol uint32, lba int64, payload []byte, sp *telemetry.Span, done func(error)) {
+	v, err := s.vol(vol)
+	if err != nil {
+		done(err)
+		return
+	}
+	blocks := len(payload) / v.blockBytes
+	if blocks < 1 || len(payload)%v.blockBytes != 0 {
+		done(ErrBadRequest)
+		return
+	}
+	if lba < 0 || !v.inRange(uint64(lba), uint32(blocks)) {
+		done(ErrOutOfRange)
+		return
+	}
+	s.writeCore(v, lba, payload, false, sp, done)
+}
+
+// TrimBlocks implements VolumeBackend over trimCore.
+func (s *Server) TrimBlocks(vol uint32, lba int64, blocks int, sp *telemetry.Span) error {
+	v, err := s.vol(vol)
+	if err != nil {
+		return err
+	}
+	if blocks < 1 {
+		return ErrBadRequest
+	}
+	if lba < 0 || !v.inRange(uint64(lba), uint32(blocks)) {
+		return ErrOutOfRange
+	}
+	return s.trimCore(v, lba, blocks, sp)
+}
+
+// Flush implements VolumeBackend over flushCore.
+func (s *Server) Flush(vol uint32, sp *telemetry.Span) error {
+	v, err := s.vol(vol)
+	if err != nil {
+		return err
+	}
+	return s.flushCore(v, sp)
+}
+
+// NewSpan starts a span on the engine clock; nil when tracing is off.
+func (s *Server) NewSpan() *telemetry.Span {
+	if s.trace == nil {
+		return nil
+	}
+	sp := s.trace.newSpan()
+	sp.Start = s.eng.Now()
+	return sp
+}
+
+// FinishSpan completes a span after its response hit the socket.
+func (s *Server) FinishSpan(sp *telemetry.Span, ring *telemetry.SpanRing) {
+	if s.trace == nil || sp == nil {
+		return
+	}
+	s.trace.finish(sp, s.eng.Now(), ring)
+}
+
+// DropSpan discards an unpublished span (e.g. after a decode error).
+func (s *Server) DropSpan(sp *telemetry.Span) {
+	if s.trace == nil || sp == nil {
+		return
+	}
+	s.trace.drop(sp)
+}
+
+// OpenSpanRing registers a per-connection exemplar ring; nil when
+// tracing is off.
+func (s *Server) OpenSpanRing() *telemetry.SpanRing {
+	if s.trace == nil {
+		return nil
+	}
+	return s.trace.addRing()
+}
+
+// CloseSpanRing retires a connection's ring, keeping its exemplars.
+func (s *Server) CloseSpanRing(r *telemetry.SpanRing) {
+	if s.trace == nil || r == nil {
+		return
+	}
+	s.trace.retireRing(r)
+}
+
+// writeCore is the write path shared by every frontend: per-tenant
+// accounting, then either the shard's group committer or the direct
+// write-through + engine + fsync-before-ack path. done fires exactly
+// once with the ack.
+func (s *Server) writeCore(vol *volume, lba int64, payload []byte, noBatch bool, sp *telemetry.Span, done func(error)) {
+	vol.writes.Add(1)
+	vol.writeBlocks.Add(int64(len(payload) / vol.blockBytes))
+	s.met.bytesIn.Add(int64(len(payload)))
+	if s.committers != nil && !noBatch {
+		c := s.committers[s.eng.ShardOf(vol.base+lba)]
+		c.enqueue(&commitReq{
+			vol:     vol,
+			lba:     lba,
+			blocks:  len(payload) / vol.blockBytes,
+			payload: payload,
+			sp:      sp,
+			done:    done,
+		})
+		return
+	}
+	err := vol.writeData(lba, payload)
+	if err == nil {
+		if sp != nil {
+			var t prototype.OpTiming
+			t, err = s.eng.WriteTimed(vol.base+lba, len(payload)/vol.blockBytes)
+			markEngine(sp, t)
+		} else {
+			err = s.eng.Write(vol.base+lba, len(payload)/vol.blockBytes)
+		}
+	}
+	if err == nil {
+		// The ack promises durability: the payload's fsync lands first.
+		err = vol.syncData()
+	}
+	done(err)
+}
+
+// readCore is the read path shared by every frontend: engine-modelled
+// device read, then a copy out of the volume's data plane.
+func (s *Server) readCore(vol *volume, lba int64, blocks int, sp *telemetry.Span) ([]byte, error) {
+	vol.reads.Add(1)
+	vol.readBlocks.Add(int64(blocks))
+	var err error
+	if sp != nil {
+		var t prototype.OpTiming
+		t, err = s.eng.ReadTimed(vol.base+lba, blocks)
+		markEngine(sp, t)
+	} else {
+		err = s.eng.Read(vol.base+lba, blocks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	payload := vol.readData(lba, blocks)
+	s.met.bytesOut.Add(int64(len(payload)))
+	return payload, nil
+}
+
+// trimCore is the trim path shared by every frontend.
+func (s *Server) trimCore(vol *volume, lba int64, blocks int, sp *telemetry.Span) error {
+	vol.trims.Add(1)
+	vol.trimBlocks.Add(int64(blocks))
+	if sp != nil {
+		t, err := s.eng.TrimTimed(vol.base+lba, blocks)
+		markEngine(sp, t)
+		return err
+	}
+	return s.eng.Trim(vol.base+lba, blocks)
+}
+
+// flushCore is the flush barrier shared by every frontend: force every
+// committer (a volume's writes can land on any shard's committer),
+// then fsync the volume's backing file.
+func (s *Server) flushCore(vol *volume, sp *telemetry.Span) error {
+	vol.flushes.Add(1)
+	if s.committers != nil {
+		for _, c := range s.committers {
+			c.flush()
+		}
+		if sp != nil {
+			// FLUSH waits out the forced group commit; charge it to the
+			// batch stage.
+			sp.MarkAt(telemetry.StageBatch, s.eng.Now())
+		}
+	}
+	// Belt over the per-ack suspenders: a FLUSH leaves the volume's
+	// backing file clean even if a write-through raced the last sync.
+	return vol.syncData()
+}

@@ -1,4 +1,7 @@
-package server
+// The golden test lives in the external test package so it can
+// register both frontends — internal/nbd imports internal/server, so
+// an in-package test could not boot the NBD frontend without a cycle.
+package server_test
 
 import (
 	"flag"
@@ -12,8 +15,10 @@ import (
 
 	"adapt/internal/adaptcore"
 	"adapt/internal/lss"
+	"adapt/internal/nbd"
 	"adapt/internal/prototype"
 	"adapt/internal/segfile"
+	"adapt/internal/server"
 	"adapt/internal/telemetry"
 )
 
@@ -25,17 +30,17 @@ var labelValue = regexp.MustCompile(`="[^"]*"`)
 
 // TestMetricNamesGolden pins the serving stack's metric namespace: it
 // boots the deepest stack (store + ADAPT policy + engine + traced
-// server, so every family that path can register does), normalizes
-// indexed instances to one entry per family, and diffs against the
-// committed golden list. (The proto_degraded_* fault families register
-// only on prototype.Run's fault path and are pinned by its own tests.)
-// A rename, addition, or removal anywhere in the stack fails here
-// until the golden file — and with it DESIGN.md's metric table — is
-// updated deliberately (go test ./internal/server -run MetricNames
-// -update).
+// server + NBD frontend, so every family that path can register does),
+// normalizes indexed instances to one entry per family, and diffs
+// against the committed golden list. (The proto_degraded_* fault
+// families register only on prototype.Run's fault path and are pinned
+// by its own tests.) A rename, addition, or removal anywhere in the
+// stack fails here until the golden file — and with it DESIGN.md's
+// metric table — is updated deliberately (go test ./internal/server
+// -run MetricNames -update).
 func TestMetricNamesGolden(t *testing.T) {
 	cfg := lss.Config{
-		BlockSize:     testBlockBytes,
+		BlockSize:     64,
 		ChunkBlocks:   8,
 		SegmentChunks: 4,
 		UserBlocks:    4096,
@@ -61,12 +66,16 @@ func TestMetricNamesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	if _, err := New(Config{
+	srv, err := server.New(server.Config{
 		Engine:    eng,
 		Volumes:   2,
 		Telemetry: ts,
-		Trace:     TraceConfig{Enabled: true},
-	}); err != nil {
+		Trace:     server.TraceConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nbd.New(nbd.Config{Backend: srv, Telemetry: ts}); err != nil {
 		t.Fatal(err)
 	}
 

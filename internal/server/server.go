@@ -207,8 +207,14 @@ func New(cfg Config) (*Server, error) {
 // Volumes returns the number of tenant volumes.
 func (s *Server) Volumes() int { return len(s.vols) }
 
-// VolumeBlocks returns the per-volume LBA count.
-func (s *Server) VolumeBlocks() int64 { return s.vols[0].blocks }
+// VolumeBlocks returns the per-volume LBA count, 0 when the server
+// holds no volumes (a zero-value or half-built Server must not panic).
+func (s *Server) VolumeBlocks() int64 {
+	if len(s.vols) == 0 {
+		return 0
+	}
+	return s.vols[0].blocks
+}
 
 // Serve accepts connections on ln until Shutdown closes it. It always
 // returns a nil error after a graceful Shutdown.
@@ -483,47 +489,13 @@ func (s *Server) handleWrite(vol *volume, req wire.Request, sp *telemetry.Span, 
 			fmt.Sprintf("payload %d bytes, want %d", len(req.Payload), want)))
 		return
 	}
-	vol.writes.Add(1)
-	vol.writeBlocks.Add(int64(req.Count))
-	s.met.bytesIn.Add(int64(len(req.Payload)))
-	lba := int64(req.LBA)
-	if s.committers != nil && req.Flags&wire.FlagNoBatch == 0 {
-		c := s.committers[s.eng.ShardOf(vol.base+lba)]
-		c.enqueue(&commitReq{
-			vol:     vol,
-			lba:     lba,
-			blocks:  int(req.Count),
-			payload: req.Payload,
-			sp:      sp,
-			done: func(err error) {
-				if err != nil {
-					finish(errResp(&req, wire.StatusInternal, err.Error()))
-					return
-				}
-				finish(okResp(&req))
-			},
-		})
-		return
-	}
-	err := vol.writeData(lba, req.Payload)
-	if err == nil {
-		if sp != nil {
-			var t prototype.OpTiming
-			t, err = s.eng.WriteTimed(vol.base+lba, int(req.Count))
-			markEngine(sp, t)
-		} else {
-			err = s.eng.Write(vol.base+lba, int(req.Count))
+	s.writeCore(vol, int64(req.LBA), req.Payload, req.Flags&wire.FlagNoBatch != 0, sp, func(err error) {
+		if err != nil {
+			finish(errResp(&req, wire.StatusInternal, err.Error()))
+			return
 		}
-	}
-	if err == nil {
-		// The ack promises durability: the payload's fsync lands first.
-		err = vol.syncData()
-	}
-	if err != nil {
-		finish(errResp(&req, wire.StatusInternal, err.Error()))
-		return
-	}
-	finish(okResp(&req))
+		finish(okResp(&req))
+	})
 }
 
 func (s *Server) handleRead(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
@@ -536,22 +508,11 @@ func (s *Server) handleRead(vol *volume, req wire.Request, sp *telemetry.Span, f
 			fmt.Sprintf("read [%d,%d) beyond %d blocks", req.LBA, req.LBA+uint64(req.Count), vol.blocks)))
 		return
 	}
-	vol.reads.Add(1)
-	vol.readBlocks.Add(int64(req.Count))
-	var err error
-	if sp != nil {
-		var t prototype.OpTiming
-		t, err = s.eng.ReadTimed(vol.base+int64(req.LBA), int(req.Count))
-		markEngine(sp, t)
-	} else {
-		err = s.eng.Read(vol.base+int64(req.LBA), int(req.Count))
-	}
+	payload, err := s.readCore(vol, int64(req.LBA), int(req.Count), sp)
 	if err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
 		return
 	}
-	payload := vol.readData(int64(req.LBA), int(req.Count))
-	s.met.bytesOut.Add(int64(len(payload)))
 	finish(&wire.Response{Op: req.Op, Status: wire.StatusOK, ID: req.ID, Count: req.Count, Payload: payload})
 }
 
@@ -565,17 +526,7 @@ func (s *Server) handleTrim(vol *volume, req wire.Request, sp *telemetry.Span, f
 			fmt.Sprintf("trim [%d,%d) beyond %d blocks", req.LBA, req.LBA+uint64(req.Count), vol.blocks)))
 		return
 	}
-	vol.trims.Add(1)
-	vol.trimBlocks.Add(int64(req.Count))
-	var err error
-	if sp != nil {
-		var t prototype.OpTiming
-		t, err = s.eng.TrimTimed(vol.base+int64(req.LBA), int(req.Count))
-		markEngine(sp, t)
-	} else {
-		err = s.eng.Trim(vol.base+int64(req.LBA), int(req.Count))
-	}
-	if err != nil {
+	if err := s.trimCore(vol, int64(req.LBA), int(req.Count), sp); err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
 		return
 	}
@@ -583,23 +534,7 @@ func (s *Server) handleTrim(vol *volume, req wire.Request, sp *telemetry.Span, f
 }
 
 func (s *Server) handleFlush(vol *volume, req wire.Request, sp *telemetry.Span, finish func(*wire.Response)) {
-	vol.flushes.Add(1)
-	if s.committers != nil {
-		// A volume's writes can land on any shard's committer (volume
-		// and shard boundaries are independent), so the barrier covers
-		// them all.
-		for _, c := range s.committers {
-			c.flush()
-		}
-		if sp != nil {
-			// FLUSH waits out the forced group commit; charge it to the
-			// batch stage.
-			sp.MarkAt(telemetry.StageBatch, s.eng.Now())
-		}
-	}
-	// Belt over the per-ack suspenders: a FLUSH leaves the volume's
-	// backing file clean even if a write-through raced the last sync.
-	if err := vol.syncData(); err != nil {
+	if err := s.flushCore(vol, sp); err != nil {
 		finish(errResp(&req, wire.StatusInternal, err.Error()))
 		return
 	}

@@ -478,3 +478,16 @@ func runE2EFaultRebuild(t *testing.T, eng prototype.Ingest) {
 		t.Fatalf("engine close (oracle full check): %v", err)
 	}
 }
+
+// TestVolumeBlocksZeroValue pins the regression where VolumeBlocks on
+// a Server holding no volumes indexed vols[0] and panicked: a
+// zero-value (or half-constructed) Server must report 0 instead.
+func TestVolumeBlocksZeroValue(t *testing.T) {
+	var s Server
+	if got := s.VolumeBlocks(); got != 0 {
+		t.Fatalf("VolumeBlocks on empty server = %d, want 0", got)
+	}
+	if got := s.Volumes(); got != 0 {
+		t.Fatalf("Volumes on empty server = %d, want 0", got)
+	}
+}

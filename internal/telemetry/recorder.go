@@ -112,6 +112,26 @@ const (
 	// MetricServerTraceExemplars counts spans published to the
 	// exemplar ring (over-threshold or client-forced).
 	MetricServerTraceExemplars = "srv_trace_exemplars_total"
+
+	// NBD frontend (internal/nbd) families.
+	// MetricNBDConns is the open NBD connection gauge.
+	MetricNBDConns = "nbd_connections_open"
+	// MetricNBDHandshakes counts completed handshakes (connections
+	// that reached the transmission phase).
+	MetricNBDHandshakes = "nbd_handshakes_total"
+	// MetricNBDRequestsPrefix is the per-command request family:
+	// nbd_requests_total{cmd="write"}.
+	MetricNBDRequestsPrefix = "nbd_requests_total"
+	// MetricNBDBytesIn / MetricNBDBytesOut count NBD WRITE payload
+	// bytes received and READ payload bytes sent.
+	MetricNBDBytesIn  = "nbd_bytes_in_total"
+	MetricNBDBytesOut = "nbd_bytes_out_total"
+	// MetricNBDRMWWrites counts unaligned writes served with a
+	// read-modify-write cycle by the alignment layer.
+	MetricNBDRMWWrites = "nbd_rmw_writes_total"
+	// MetricNBDErrors counts NBD error replies (negotiation and
+	// transmission).
+	MetricNBDErrors = "nbd_errors_total"
 )
 
 // Window is one closed time-series window: the cumulative value of
